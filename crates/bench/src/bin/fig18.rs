@@ -1,0 +1,5 @@
+//! Regenerates Figure 18 of the paper (aging, thresholds 4 and 6).
+fn main() {
+    let ctx = otf_bench::figures::Ctx::new(otf_bench::Options::from_args());
+    otf_bench::figures::fig18_19(&ctx, [4, 6], "18").print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 19 of the paper (aging, thresholds 8 and 10).
+fn main() {
+    let ctx = otf_bench::figures::Ctx::new(otf_bench::Options::from_args());
+    otf_bench::figures::fig18_19(&ctx, [8, 10], "19").print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 23 of the paper.  See `otf_bench::Options` for flags.
+fn main() {
+    let ctx = otf_bench::figures::Ctx::new(otf_bench::Options::from_args());
+    otf_bench::figures::fig23(&ctx).print();
+}

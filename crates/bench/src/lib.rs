@@ -1,0 +1,14 @@
+//! # otf-bench — the figure harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Figures 7–23).  Each `fig*` binary prints the corresponding table;
+//! `figall` runs everything and appends the results to `EXPERIMENTS.md`.
+//!
+//! All binaries accept `--scale X --reps N --copies N --seed N` and
+//! `--quick` (a fast smoke configuration).
+
+pub mod figures;
+pub mod measure;
+pub mod table;
+
+pub use measure::Options;

@@ -1,0 +1,114 @@
+//! Repeated-measurement helpers: every figure datum is the median of
+//! several runs (the paper repeated each parallel run 8 times; we default
+//! to 3 and expose `--reps`).
+
+use std::time::Duration;
+
+use otf_gc::GcConfig;
+use otf_workloads::driver::{self, RunResult};
+use otf_workloads::Workload;
+
+/// Harness options shared by all figure binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Workload scale factor (1.0 = full size).
+    pub scale: f64,
+    /// Repetitions per measurement (median taken).
+    pub reps: usize,
+    /// Concurrent application copies for the "multiprocessor" metric
+    /// (the paper ran 4 on its 4-way machine).
+    pub copies: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { scale: 1.0, reps: 3, copies: 4, seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses harness options from command-line arguments:
+    /// `--scale X`, `--reps N`, `--copies N`, `--seed N`, `--quick`
+    /// (= `--scale 0.15 --reps 1 --copies 2`).
+    pub fn from_args() -> Options {
+        let mut o = Options::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    o.scale = 0.15;
+                    o.reps = 1;
+                    o.copies = 2;
+                }
+                "--scale" => {
+                    i += 1;
+                    o.scale = args[i].parse().expect("--scale takes a float");
+                }
+                "--reps" => {
+                    i += 1;
+                    o.reps = args[i].parse().expect("--reps takes an integer");
+                }
+                "--copies" => {
+                    i += 1;
+                    o.copies = args[i].parse().expect("--copies takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    o.seed = args[i].parse().expect("--seed takes an integer");
+                }
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        o
+    }
+}
+
+/// Runs one copy of `workload` `reps` times; returns the run with the
+/// median elapsed time.
+pub fn median_run(w: &dyn Workload, cfg: GcConfig, o: &Options) -> RunResult {
+    let mut runs: Vec<RunResult> =
+        (0..o.reps.max(1)).map(|r| driver::run_workload(w, cfg, o.seed + r as u64)).collect();
+    runs.sort_by_key(|r| r.elapsed);
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// Runs `copies` concurrent copies `reps` times; returns the median batch
+/// elapsed time (the paper's multiprocessor measurement).
+pub fn median_copies(w: &dyn Workload, cfg: GcConfig, o: &Options) -> Duration {
+    let mut times: Vec<Duration> = (0..o.reps.max(1))
+        .map(|r| driver::run_copies(w, cfg, o.seed + r as u64, o.copies).0)
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Percentage improvement of generational over non-generational for both
+/// the multiprocessor (concurrent copies) and uniprocessor (single copy)
+/// methodologies: `(multi, uni)`.
+pub fn improvements(
+    w: &dyn Workload,
+    gen_cfg: GcConfig,
+    nogen_cfg: GcConfig,
+    o: &Options,
+) -> (f64, f64) {
+    let multi_nogen = median_copies(w, nogen_cfg, o);
+    let multi_gen = median_copies(w, gen_cfg, o);
+    let uni_nogen = median_run(w, nogen_cfg, o).elapsed;
+    let uni_gen = median_run(w, gen_cfg, o).elapsed;
+    (
+        driver::percent_improvement(multi_nogen, multi_gen),
+        driver::percent_improvement(uni_nogen, uni_gen),
+    )
+}
+
+/// Uniprocessor-only improvement (used by the parameter-sweep figures,
+/// which the paper also measured on a single configuration axis).
+pub fn uni_improvement(w: &dyn Workload, gen_cfg: GcConfig, nogen_cfg: GcConfig, o: &Options) -> f64 {
+    let nogen = median_run(w, nogen_cfg, o).elapsed;
+    let gen = median_run(w, gen_cfg, o).elapsed;
+    driver::percent_improvement(nogen, gen)
+}

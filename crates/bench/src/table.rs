@@ -1,0 +1,139 @@
+//! Minimal aligned-table rendering for the figure harness: prints to
+//! stdout and returns markdown-ish text for `EXPERIMENTS.md`.
+
+/// A simple table: header row + data rows, rendered with aligned columns.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title (e.g. "Figure 9: ...").
+    pub fn new(title: impl Into<String>) -> Table {
+        Table { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the header cells.
+    pub fn header<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        self.header = cells.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders with aligned columns (first column left-aligned, the rest
+    /// right-aligned).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                if i == 0 {
+                    line.push_str(&format!(" {cell:<w$} |"));
+                } else {
+                    line.push_str(&format!(" {cell:>w$} |"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        if !self.header.is_empty() {
+            out.push_str(&render_row(&self.header));
+            let mut sep = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                if i == 0 {
+                    sep.push_str(&format!("{:-<1$}|", "", w + 2));
+                } else {
+                    sep.push_str(&format!("{:->1$}:|", "", w + 1));
+                }
+            }
+            sep.push('\n');
+            out.push_str(&sep);
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a percentage with one decimal and an explicit sign.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}")
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats an optional float with no decimals ("N/A" when absent).
+pub fn f0_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.0}"),
+        None => "N/A".into(),
+    }
+}
+
+/// Formats an optional float with one decimal ("N/A" when absent).
+pub fn f1_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "N/A".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Figure X: demo");
+        t.header(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer", "22"]);
+        let r = t.render();
+        assert!(r.contains("## Figure X: demo"));
+        assert!(r.contains("| a      |     1 |"));
+        assert!(r.contains("| longer |    22 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(3.14159), "+3.1");
+        assert_eq!(pct(-2.0), "-2.0");
+        assert_eq!(f0_opt(None), "N/A");
+        assert_eq!(f0_opt(Some(12.7)), "13");
+        assert_eq!(f1_opt(Some(12.75)), "12.8");
+    }
+}

@@ -1,0 +1,359 @@
+//! The collection cycle (Figures 2 and 5) and the collector thread.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::{Mode, Promotion};
+use crate::cycle::CycleCx;
+use crate::shared::GcShared;
+use crate::state::Status;
+use crate::stats::{CycleKind, CycleStats};
+
+impl GcShared {
+    /// Runs one complete collection cycle.  Mutators keep running the
+    /// whole time (on-the-fly): they cooperate via handshakes, their write
+    /// barrier keeps the trace sound, and their allocations proceed with
+    /// the allocation color.
+    pub(crate) fn run_cycle(&self, kind: CycleKind, cx: &mut CycleCx) -> CycleStats {
+        let cycle_start = Instant::now();
+        cx.reset();
+        self.collecting.store(true, std::sync::atomic::Ordering::Release);
+        let used_before = self.heap.used_bytes();
+        let allocated_since_last = self.control.bytes_since_cycle();
+
+        // ----- clear (Figure 2/5: "clear: If (full collection) Init...") --
+        let t = Instant::now();
+        if kind == CycleKind::Full {
+            match self.config.mode {
+                // The toggled non-generational baseline needs no
+                // initialization pass: the mark color and clear color
+                // simply swap roles each cycle (Remark 5.1).
+                Mode::NonGenerational => {}
+                // Simple variant: recolor old objects young and wipe all
+                // card marks (Figure 3).
+                Mode::Generational(Promotion::Simple) => self.init_full_collection(true, cx),
+                // Aging variant: recolor but *keep* the card marks — they
+                // may describe inter-generational pointers still relevant
+                // to later partial collections (§6).
+                Mode::Generational(Promotion::Aging { .. }) => self.init_full_collection(false, cx),
+            }
+        }
+        cx.phases.init = t.elapsed();
+
+        // ----- first handshake ------------------------------------------
+        let t = Instant::now();
+        self.handshake(Status::Sync1);
+        cx.phases.handshakes += t.elapsed();
+
+        // ----- second handshake: card work and the color toggle ---------
+        self.post_handshake(Status::Sync2);
+        match self.config.mode {
+            Mode::NonGenerational => {
+                self.colors.toggle();
+            }
+            Mode::Generational(Promotion::Simple) => {
+                // Figure 2 order: ClearCards *before* the toggle, so every
+                // object created after the scan gets the (new) yellow
+                // allocation color and card marks for parents of yellow
+                // objects are never lost (§7.1).
+                let tc = Instant::now();
+                self.clear_cards_simple(cx);
+                cx.phases.cards = tc.elapsed();
+                self.colors.toggle();
+            }
+            Mode::Generational(Promotion::Aging { threshold }) => {
+                // Figure 5 order: toggle first, then scan — the aging scan
+                // must gray the previous cycle's young survivors, which
+                // only carry the clear color after the toggle.  Full
+                // collections skip the scan entirely: the whole heap is
+                // traced, and the surviving dirty bits stay for later
+                // partial collections (§6).
+                self.colors.toggle();
+                if kind == CycleKind::Partial {
+                    let tc = Instant::now();
+                    self.clear_cards_aging(threshold, cx);
+                    cx.phases.cards = tc.elapsed();
+                }
+            }
+        }
+        let t = Instant::now();
+        self.wait_handshake();
+
+        // ----- third handshake: root marking -----------------------------
+        // The barrier must start graying overwritten values *before* any
+        // mutator can observe async status, so the tracing flag goes up
+        // first.
+        self.tracing.store(true, std::sync::atomic::Ordering::Release);
+        self.post_handshake(Status::Async);
+        self.mark_global_roots_local(&mut cx.mark_stack);
+        self.wait_handshake();
+        cx.phases.handshakes += t.elapsed();
+
+        // ----- trace ------------------------------------------------------
+        let t = Instant::now();
+        self.trace(cx);
+        cx.phases.trace = t.elapsed();
+        self.tracing.store(false, std::sync::atomic::Ordering::Release);
+
+        // ----- sweep ------------------------------------------------------
+        let t = Instant::now();
+        self.sweep(cx);
+        cx.phases.sweep = t.elapsed();
+
+        self.collecting.store(false, std::sync::atomic::Ordering::Release);
+
+        let c = cx.counters;
+        CycleStats {
+            kind,
+            duration: cycle_start.elapsed(),
+            phases: cx.phases,
+            objects_traced: c.objects_traced,
+            intergen_objects: c.intergen_objects,
+            intergen_bytes: c.intergen_bytes,
+            dirty_cards: c.dirty_cards,
+            cards_in_use: c.cards_in_use,
+            objects_freed: c.objects_freed,
+            bytes_freed: c.bytes_freed,
+            objects_survived: c.objects_survived,
+            bytes_survived: c.bytes_survived,
+            bytes_alloc_colored: c.bytes_alloc_colored,
+            pages_touched: cx.pages.touched() as u64,
+            used_before,
+            used_after: self.heap.used_bytes(),
+            allocated_since_last,
+        }
+    }
+
+    /// The collector thread body: sleep until a collection is requested,
+    /// run the cycle, record statistics, apply the post-full-collection
+    /// growth heuristic, and wake any allocation-blocked mutators.
+    pub(crate) fn collector_loop(self: Arc<GcShared>) {
+        let mut cx = CycleCx::new(&self);
+        let mut alloc_at_last_full = 0u64;
+        while let Some(kind) = self.control.next_request() {
+            // Re-validate partial requests: a mutator can re-post one in
+            // the window between this loop consuming the previous request
+            // and the cycle publishing its `collecting` flag, against an
+            // allocation counter the finished cycle was about to consume.
+            // Running such a phantom would collect a half-empty young
+            // generation back to back with the real cycle.
+            if kind == CycleKind::Partial
+                && self.control.bytes_since_cycle() < self.config.young_size as u64 / 2
+            {
+                continue;
+            }
+            let stats = self.run_cycle(kind, &mut cx);
+            {
+                let mut s = self.stats.lock();
+                s.gc_active += stats.duration;
+                s.cycles.push(stats);
+            }
+            if kind == CycleKind::Full {
+                let total_alloc = self.heap.bytes_allocated();
+                let since_last_full = total_alloc - alloc_at_last_full;
+                alloc_at_last_full = total_alloc;
+                // Resize toward a target occupancy, like the paper's JVM
+                // heap manager, from the *measured live set* (the full
+                // collection's survivors minus allocation that raced the
+                // cycle): live data should sit at ≤ grow_fraction
+                // occupancy, and the almost-full trigger must leave
+                // headroom for a whole young-generation budget plus
+                // in-flight allocation above the live set — otherwise it
+                // would preempt every partial collection.  The same
+                // calculation serves non-generational mode (§8: "the
+                // calculation of the trigger for a full collection was
+                // the same with and without generations"), where it
+                // yields a cadence of roughly 1.7 young-budgets of
+                // garbage per collection.
+                let live = stats.bytes_survived.saturating_sub(stats.bytes_alloc_colored) as usize;
+                // The generational heap needs headroom for a whole young
+                // budget of uncollected garbage *plus* in-flight
+                // allocation above the live set, or the almost-full
+                // trigger preempts every partial.  The non-generational
+                // heap has no such constraint and the paper's JDK grew it
+                // only under allocation pressure, leaving it snug around
+                // the live set — its Figure 10 cadences correspond to a
+                // gap of roughly one young budget per collection.
+                let headroom = if self.config.is_generational() {
+                    self.config.young_size * 9 / 4
+                } else {
+                    self.config.young_size * 5 / 4
+                };
+                let target = ((live as f64 / self.config.grow_fraction) as usize)
+                    .max(live * 3 / 2 + headroom);
+                self.heap.grow_to(target);
+                // Full-GC thrash backstop: if less than a quarter of the
+                // committed size was allocated since the previous full
+                // collection, the heap is simply too small; widen it by
+                // one young budget (gently — doubling here would blow the
+                // carefully-sized trigger gap apart).
+                if since_last_full < self.heap.committed_bytes() as u64 / 4 {
+                    self.heap.grow_to(self.heap.committed_bytes() + self.config.young_size);
+                }
+            }
+            self.control.consume_allocated(stats.allocated_since_last);
+            self.control.note_cycle_done(kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcConfig;
+    use otf_heap::{Color, ObjShape, ObjectRef};
+
+    fn setup(cfg: GcConfig) -> (GcShared, CycleCx) {
+        let sh =
+            GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
+        let cx = CycleCx::new(&sh);
+        (sh, cx)
+    }
+
+    /// Allocates through the substrate with the current allocation color.
+    fn alloc(sh: &GcShared, refs: usize) -> ObjectRef {
+        let shape = ObjShape::new(refs, 1);
+        let n = shape.size_granules() as u32;
+        let c = sh.heap.alloc_chunk(n, n).unwrap();
+        sh.heap.install_object(c.start as usize, &shape, sh.colors.allocation_color())
+    }
+
+    #[test]
+    fn full_cycle_collects_unrooted_keeps_global_roots() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let live = alloc(&sh, 1);
+        let son = alloc(&sh, 0);
+        sh.heap.arena().store_ref_slot(live, 0, son);
+        let dead = alloc(&sh, 0);
+        sh.add_global_root(live);
+
+        let stats = sh.run_cycle(CycleKind::Full, &mut cx);
+        assert_eq!(stats.kind, CycleKind::Full);
+        assert_eq!(sh.heap.colors().get(live.granule()), Color::Black);
+        assert_eq!(sh.heap.colors().get(son.granule()), Color::Black);
+        assert_eq!(sh.heap.colors().get(dead.granule()), Color::Free);
+        assert_eq!(stats.objects_freed, 1);
+        assert_eq!(stats.objects_traced, 2);
+        assert!(stats.pages_touched > 0);
+    }
+
+    #[test]
+    fn two_partials_promote_then_collect_old_garbage_only_in_full() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let a = alloc(&sh, 0);
+        sh.add_global_root(a);
+        // Partial 1: a survives, promoted black.
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.colors().get(a.granule()), Color::Black);
+        // Drop the root: a is now old garbage.
+        assert!(sh.remove_global_root(a));
+        // Partial 2 does NOT reclaim old garbage...
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.colors().get(a.granule()), Color::Black);
+        // ...but a full collection does.
+        sh.run_cycle(CycleKind::Full, &mut cx);
+        assert_eq!(sh.heap.colors().get(a.granule()), Color::Free);
+    }
+
+    #[test]
+    fn partial_uses_dirty_cards_as_roots() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let parent = alloc(&sh, 1);
+        sh.add_global_root(parent);
+        sh.run_cycle(CycleKind::Partial, &mut cx); // promote parent
+        assert!(sh.remove_global_root(parent));
+        assert_eq!(sh.heap.colors().get(parent.granule()), Color::Black);
+
+        // Store a young object into the old parent, as the async write
+        // barrier would: store, then mark the parent's card.
+        let young = alloc(&sh, 0);
+        sh.heap.arena().store_ref_slot(parent, 0, young);
+        sh.cards.mark_byte(parent.byte());
+
+        let stats = sh.run_cycle(CycleKind::Partial, &mut cx);
+        // Young survived purely through the inter-generational pointer.
+        assert_eq!(sh.heap.colors().get(young.granule()), Color::Black);
+        assert!(stats.intergen_objects >= 1);
+        assert!(stats.dirty_cards >= 1);
+    }
+
+    #[test]
+    fn partial_without_dirty_card_reclaims_unreferenced_young() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let young = alloc(&sh, 0);
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.colors().get(young.granule()), Color::Free);
+    }
+
+    #[test]
+    fn non_generational_cycles_have_no_card_work() {
+        let (sh, mut cx) = setup(GcConfig::non_generational());
+        let live = alloc(&sh, 0);
+        sh.add_global_root(live);
+        let dead = alloc(&sh, 0);
+        let stats = sh.run_cycle(CycleKind::Full, &mut cx);
+        assert_eq!(stats.dirty_cards, 0);
+        assert_eq!(stats.intergen_objects, 0);
+        // Marked with the role-based "black" = the cycle's allocation
+        // color, never literal black.
+        assert_ne!(sh.heap.colors().get(live.granule()), Color::Black);
+        assert!(sh.heap.colors().get(live.granule()).is_object());
+        assert_eq!(sh.heap.colors().get(dead.granule()), Color::Free);
+
+        // A second cycle must keep the survivor alive (toggle roles swap).
+        let stats2 = sh.run_cycle(CycleKind::Full, &mut cx);
+        assert!(sh.heap.colors().get(live.granule()).is_object());
+        assert_eq!(stats2.objects_freed, 0);
+    }
+
+    #[test]
+    fn aging_partial_cycle_ages_young_survivors() {
+        let (sh, mut cx) = setup(GcConfig::aging(3));
+        let obj = alloc(&sh, 0);
+        sh.add_global_root(obj);
+        assert_eq!(sh.heap.ages().get(obj.granule()), 1);
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.ages().get(obj.granule()), 2);
+        assert_ne!(sh.heap.colors().get(obj.granule()), Color::Black);
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.ages().get(obj.granule()), 3);
+        // Reached the threshold: the next cycle leaves it black (tenured).
+        sh.run_cycle(CycleKind::Partial, &mut cx);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Black);
+        assert_eq!(sh.heap.ages().get(obj.granule()), 3);
+    }
+
+    #[test]
+    fn aging_full_collection_preserves_card_marks() {
+        let (sh, mut cx) = setup(GcConfig::aging(3));
+        let parent = alloc(&sh, 1);
+        sh.add_global_root(parent);
+        sh.cards.mark_byte(parent.byte());
+        sh.run_cycle(CycleKind::Full, &mut cx);
+        // §6: InitFullCollection does not clear the dirty bits.
+        assert!(sh.cards.is_dirty(sh.cards.card_of_byte(parent.byte())));
+    }
+
+    #[test]
+    fn simple_full_collection_clears_card_marks() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let parent = alloc(&sh, 1);
+        sh.add_global_root(parent);
+        sh.cards.mark_byte(parent.byte());
+        sh.run_cycle(CycleKind::Full, &mut cx);
+        assert!(!sh.cards.is_dirty(sh.cards.card_of_byte(parent.byte())));
+    }
+
+    #[test]
+    fn cycle_stats_account_bytes() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        let dead1 = alloc(&sh, 0); // 2 granules (header + ref0? refs=0,data=1 -> 1 granule)
+        let dead2 = alloc(&sh, 3);
+        let d1 = sh.heap.arena().header(dead1).size_bytes() as u64;
+        let d2 = sh.heap.arena().header(dead2).size_bytes() as u64;
+        let stats = sh.run_cycle(CycleKind::Full, &mut cx);
+        assert_eq!(stats.bytes_freed, d1 + d2);
+        assert_eq!(stats.objects_freed, 2);
+        assert_eq!(stats.objects_survived, 0);
+    }
+}

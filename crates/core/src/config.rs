@@ -1,0 +1,241 @@
+//! Collector configuration (the paper's tuning parameters, §8.3/§8.5).
+
+use otf_heap::{MAX_CARD_SIZE, MIN_CARD_SIZE};
+
+/// How surviving objects are promoted to the old generation.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Promotion {
+    /// Promote after surviving a single collection (§3): black ⇔ old.
+    /// The paper's best-performing policy.
+    Simple,
+    /// The aging mechanism (§6): objects are tenured only after surviving
+    /// `threshold` collections, tracked in a separate age table.
+    Aging {
+        /// Tenuring threshold ("age N is old").  The paper evaluates
+        /// 2, 4, 6, 8 and 10 (Figures 18–20).
+        threshold: u8,
+    },
+}
+
+/// Collector mode: the non-generational DLG baseline or the paper's
+/// generational extension.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// The original on-the-fly collector, *with* the color toggle
+    /// (Remark 5.1: the baseline also gets the toggle so the comparison
+    /// isolates generations).  Every collection is a full collection and
+    /// the write barrier never touches the card table.
+    NonGenerational,
+    /// The generational collector with the given promotion policy.
+    Generational(Promotion),
+}
+
+/// Configuration for [`Gc::new`](crate::Gc::new).
+///
+/// The defaults are the paper's chosen parameters: 1 MB initial / 32 MB
+/// maximum heap, a 4 MB young generation, 16-byte cards ("object
+/// marking"), and simple promotion.
+///
+/// # Examples
+///
+/// ```
+/// use otf_gc::{GcConfig, Promotion};
+/// let cfg = GcConfig::generational()
+///     .with_young_size(8 << 20)
+///     .with_card_size(4096) // block marking
+///     .with_promotion(Promotion::Aging { threshold: 4 });
+/// assert_eq!(cfg.card_size, 4096);
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct GcConfig {
+    /// Maximum heap size in bytes (reserved up front).
+    pub max_heap: usize,
+    /// Initially committed heap size in bytes.
+    pub initial_heap: usize,
+    /// Young-generation size in bytes: a partial collection is triggered
+    /// once this much has been allocated since the last collection (§3.3).
+    pub young_size: usize,
+    /// Card size in bytes; power of two in `[16, 4096]` (§8.5.3).
+    pub card_size: usize,
+    /// Generational or baseline mode.
+    pub mode: Mode,
+    /// A full collection is triggered when the heap is "almost full":
+    /// used ≥ `full_trigger_fraction · committed` (§3.3).
+    pub full_trigger_fraction: f64,
+    /// Post-full-collection occupancy target: the committed heap grows
+    /// until live data occupies at most this fraction of it (the paper's
+    /// JVM grew its heap toward 32 MB under pressure the same way).
+    pub grow_fraction: f64,
+    /// LAB (thread-local allocation buffer) size in granules.
+    pub lab_granules: u32,
+}
+
+impl GcConfig {
+    /// The paper's best generational configuration: simple promotion,
+    /// 4 MB young generation, 16-byte cards.
+    pub fn generational() -> GcConfig {
+        GcConfig {
+            max_heap: 32 << 20,
+            initial_heap: 1 << 20,
+            young_size: 4 << 20,
+            card_size: 16,
+            mode: Mode::Generational(Promotion::Simple),
+            full_trigger_fraction: 0.75,
+            grow_fraction: 0.55,
+            lab_granules: otf_heap::DEFAULT_LAB_GRANULES,
+        }
+    }
+
+    /// The non-generational DLG baseline (with the color toggle).
+    pub fn non_generational() -> GcConfig {
+        GcConfig { mode: Mode::NonGenerational, ..GcConfig::generational() }
+    }
+
+    /// Generational with the aging promotion policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold < 2` (age 1 is the infant age, so a threshold
+    /// of 2 is the earliest possible tenuring — the paper's Figure 20).
+    pub fn aging(threshold: u8) -> GcConfig {
+        assert!(threshold >= 2, "aging threshold must be at least 2");
+        GcConfig {
+            mode: Mode::Generational(Promotion::Aging { threshold }),
+            ..GcConfig::generational()
+        }
+    }
+
+    /// Sets the maximum heap size in bytes.
+    pub fn with_max_heap(mut self, bytes: usize) -> GcConfig {
+        self.max_heap = bytes;
+        self
+    }
+
+    /// Sets the initially committed heap size in bytes.
+    pub fn with_initial_heap(mut self, bytes: usize) -> GcConfig {
+        self.initial_heap = bytes;
+        self
+    }
+
+    /// Sets the young-generation size in bytes.
+    pub fn with_young_size(mut self, bytes: usize) -> GcConfig {
+        self.young_size = bytes;
+        self
+    }
+
+    /// Sets the card size in bytes (power of two in `[16, 4096]`).
+    pub fn with_card_size(mut self, bytes: usize) -> GcConfig {
+        self.card_size = bytes;
+        self
+    }
+
+    /// Sets the promotion policy (switches to generational mode).
+    pub fn with_promotion(mut self, promotion: Promotion) -> GcConfig {
+        self.mode = Mode::Generational(promotion);
+        self
+    }
+
+    /// Sets the LAB size in granules.
+    pub fn with_lab_granules(mut self, granules: u32) -> GcConfig {
+        self.lab_granules = granules.max(1);
+        self
+    }
+
+    /// Whether this configuration is generational.
+    pub fn is_generational(&self) -> bool {
+        matches!(self.mode, Mode::Generational(_))
+    }
+
+    /// The aging threshold, if the aging policy is selected.
+    pub fn aging_threshold(&self) -> Option<u8> {
+        match self.mode {
+            Mode::Generational(Promotion::Aging { threshold }) => Some(threshold),
+            _ => None,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_heap == 0 || self.initial_heap == 0 {
+            return Err("heap sizes must be non-zero".into());
+        }
+        if self.initial_heap > self.max_heap {
+            return Err("initial heap exceeds maximum heap".into());
+        }
+        if !self.card_size.is_power_of_two()
+            || !(MIN_CARD_SIZE..=MAX_CARD_SIZE).contains(&self.card_size)
+        {
+            return Err(format!("card size {} not a power of two in [16, 4096]", self.card_size));
+        }
+        if !(0.0..=1.0).contains(&self.full_trigger_fraction)
+            || !(0.0..=1.0).contains(&self.grow_fraction)
+        {
+            return Err("trigger fractions must be in [0, 1]".into());
+        }
+        if let Some(t) = self.aging_threshold() {
+            if t < 2 {
+                return Err("aging threshold must be at least 2".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig::generational()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GcConfig::default();
+        assert_eq!(c.max_heap, 32 << 20);
+        assert_eq!(c.initial_heap, 1 << 20);
+        assert_eq!(c.young_size, 4 << 20);
+        assert_eq!(c.card_size, 16);
+        assert!(c.is_generational());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = GcConfig::non_generational().with_max_heap(8 << 20).with_initial_heap(1 << 20);
+        assert!(!c.is_generational());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn aging_threshold_accessor() {
+        assert_eq!(GcConfig::generational().aging_threshold(), None);
+        assert_eq!(GcConfig::aging(6).aging_threshold(), Some(6));
+    }
+
+    #[test]
+    fn validation_catches_bad_cards() {
+        let c = GcConfig::generational().with_card_size(100);
+        assert!(c.validate().is_err());
+        let c = GcConfig::generational().with_card_size(8192);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_heaps() {
+        let c = GcConfig::generational().with_initial_heap(64 << 20);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn aging_threshold_one_panics() {
+        let _ = GcConfig::aging(1);
+    }
+}

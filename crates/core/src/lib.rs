@@ -1,0 +1,237 @@
+//! # otf-gc — a generational on-the-fly garbage collector
+//!
+//! A from-scratch Rust implementation of *"A Generational On-the-fly
+//! Garbage Collector for Java"* (Tamar Domani, Elliot K. Kolodner, Erez
+//! Petrank — PLDI 2000): the Doligez–Leroy–Gonthier (DLG) on-the-fly
+//! mark-sweep collector extended with **non-moving generations**.
+//!
+//! The collector never stops the world.  Application threads
+//! ([`Mutator`]s) run concurrently with a single collector thread; they
+//! coordinate only through three *soft handshakes* per cycle, a write
+//! barrier, and fine-grained atomic color updates.  Generations are
+//! *logical*: objects never move; an object's generation is encoded in its
+//! color (simple promotion: black ⇔ old, §3 of the paper) or in a side age
+//! table (the aging mechanism, §6).  Inter-generational pointers are
+//! tracked by card marking (§3.1) with card sizes from 16 bytes ("object
+//! marking") to 4096 bytes ("block marking").
+//!
+//! Three collector variants are provided, selected by [`GcConfig`]:
+//!
+//! * [`GcConfig::non_generational`] — the DLG baseline, *with* the color
+//!   toggle (the paper's Remark 5.1 adds the toggle to the baseline too,
+//!   so benchmark comparisons isolate the effect of generations);
+//! * [`GcConfig::generational`] — simple promotion: survive one
+//!   collection ⇒ old; objects created *during* a collection get the
+//!   yellow color and are not promoted (§4); the color toggle removes the
+//!   create/sweep race (§5);
+//! * [`GcConfig::aging`] — tenure only after surviving a configurable
+//!   number of collections (§6).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use otf_gc::{Gc, GcConfig};
+//! use otf_heap::ObjShape;
+//!
+//! let gc = Gc::new(GcConfig::generational());
+//! let mut m = gc.mutator();
+//!
+//! // A list node: 1 reference slot + 1 data word.
+//! let node = ObjShape::new(1, 1);
+//!
+//! // Build a small list, keeping the head rooted.
+//! let head = m.alloc(&node)?;
+//! m.root_push(head);
+//! let second = m.alloc(&node)?;
+//! m.write_ref(head, 0, second);       // write barrier
+//! m.write_data(second, 0, 42);
+//!
+//! assert_eq!(m.read_data(m.read_ref(head, 0), 0), 42);
+//!
+//! m.root_pop();
+//! drop(m);
+//! let stats = gc.stats();
+//! gc.shutdown();
+//! # let _ = stats;
+//! # Ok::<(), otf_gc::AllocError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod cards;
+mod proptest_cycle;
+mod verify;
+mod collector;
+mod config;
+mod control;
+mod cycle;
+mod mutator;
+mod shared;
+mod state;
+mod stats;
+mod sweep;
+mod trace;
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub use config::{GcConfig, Mode, Promotion};
+pub use mutator::{AllocError, Mutator};
+pub use stats::{CycleKind, CycleStats, GcStats, PhaseTimes};
+pub use verify::HeapViolation;
+
+// Re-export the heap vocabulary users need at the API boundary.
+pub use otf_heap::{Color, Header, ObjShape, ObjectRef};
+
+use shared::GcShared;
+
+/// A garbage-collected heap with its on-the-fly collector thread.
+///
+/// Create one per logical "JVM"; attach application threads with
+/// [`mutator`](Gc::mutator).  Dropping (or [`shutdown`](Gc::shutdown))
+/// stops the collector thread.
+#[derive(Debug)]
+pub struct Gc {
+    shared: Arc<GcShared>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl Gc {
+    /// Creates the heap and spawns the collector thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`GcConfig::validate`]).
+    pub fn new(config: GcConfig) -> Gc {
+        let shared = Arc::new(GcShared::new(config));
+        let collector = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("otf-gc-collector".into())
+                .spawn(move || shared.collector_loop())
+                .expect("spawn collector thread")
+        };
+        Gc { shared, collector: Some(collector) }
+    }
+
+    /// Attaches a new mutator (application thread context).  The returned
+    /// value is `Send` — move it into the thread that will use it.
+    pub fn mutator(&self) -> Mutator {
+        Mutator::new(Arc::clone(&self.shared))
+    }
+
+    /// The configuration this collector runs with.
+    pub fn config(&self) -> &GcConfig {
+        &self.shared.config
+    }
+
+    /// Asynchronously requests a full collection.
+    pub fn request_full(&self) {
+        self.shared.control.request_full();
+    }
+
+    /// Asynchronously requests a partial collection (in non-generational
+    /// mode the cycle still collects the full heap).
+    pub fn request_partial(&self) {
+        self.shared.control.request_partial();
+    }
+
+    /// Number of completed collection cycles.
+    pub fn cycles_completed(&self) -> u64 {
+        self.shared.control.cycles_done()
+    }
+
+    /// Blocks until at least one more full collection completes than had
+    /// completed when this call was made.  Must *not* be called from a
+    /// mutator thread that is expected to cooperate (wrap the call in
+    /// [`Mutator::parked`] there); intended for coordinator threads and
+    /// tests.
+    pub fn collect_full_blocking(&self) {
+        let fulls = self.shared.control.fulls_done();
+        self.shared.control.request_full();
+        self.shared.control.wait_for_full(fulls);
+    }
+
+    /// Heap bytes currently in use (live objects + leased LABs).
+    pub fn used_bytes(&self) -> usize {
+        self.shared.heap.used_bytes()
+    }
+
+    /// Committed heap size in bytes.
+    pub fn committed_bytes(&self) -> usize {
+        self.shared.heap.committed_bytes()
+    }
+
+    /// Total objects allocated so far.
+    pub fn objects_allocated(&self) -> u64 {
+        self.shared.heap.objects_allocated()
+    }
+
+    /// Total bytes allocated so far.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.shared.heap.bytes_allocated()
+    }
+
+    /// A snapshot of all collection statistics.
+    pub fn stats(&self) -> GcStats {
+        let inner = self.shared.stats.lock();
+        GcStats {
+            cycles: inner.cycles.clone(),
+            objects_allocated: self.shared.heap.objects_allocated(),
+            bytes_allocated: self.shared.heap.bytes_allocated(),
+            elapsed: self.shared.start.elapsed(),
+            gc_active: inner.gc_active,
+        }
+    }
+
+    /// Diagnostic: the current color of `obj` (for tests and examples).
+    pub fn debug_color_of(&self, obj: ObjectRef) -> Color {
+        self.shared.heap.colors().get(obj.granule())
+    }
+
+    /// Diagnostic: the current age of `obj` (meaningful with the aging
+    /// promotion policy).
+    pub fn debug_age_of(&self, obj: ObjectRef) -> u8 {
+        self.shared.heap.ages().get(obj.granule())
+    }
+
+    /// Diagnostic: whether the granule of `obj` currently holds a live
+    /// object start (i.e. it has not been reclaimed).
+    pub fn debug_is_object(&self, obj: ObjectRef) -> bool {
+        self.shared.heap.colors().get(obj.granule()).is_object()
+    }
+
+    /// Walks the heap and checks the collector's structural invariants
+    /// (parse integrity, free-pool agreement, no dangling references, and
+    /// the inter-generational card invariant).  Returns every violation
+    /// found — an empty vector means the heap is consistent.
+    ///
+    /// Only meaningful at a quiescent point: no collection in progress
+    /// and no mutators mutating (tests call it after
+    /// [`collect_full_blocking`](Gc::collect_full_blocking) with all
+    /// mutators parked or dropped).
+    pub fn verify_heap(&self) -> Vec<HeapViolation> {
+        self.shared.verify_heap()
+    }
+
+    /// Stops the collector thread.  Any later allocation pressure is
+    /// served by heap growth only; mutators never block on a collector
+    /// again.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.control.begin_shutdown();
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gc {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,629 @@
+//! The mutator interface: allocation (`Create`), the write barrier
+//! (`Update`), safe-point polling (`Cooperate`) and shadow-stack roots —
+//! Figures 1 and 4 of the paper.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use otf_heap::{Header, Lab, ObjShape, ObjectRef};
+
+use crate::config::{Mode, Promotion};
+use crate::shared::GcShared;
+use crate::state::{MutatorShared, Status};
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The heap is exhausted: a full collection and heap growth both
+    /// failed to produce enough contiguous space.
+    OutOfMemory {
+        /// The request size in bytes.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Which write-barrier flavour this mutator runs (precomputed from the
+/// collector mode).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum BarrierKind {
+    /// DLG barrier, no card marking (non-generational baseline).
+    NonGenerational,
+    /// Figure 1: card marked (object's card, before the store) only in
+    /// `async`; in sync periods both young colors are shaded (§7.1).
+    Simple,
+    /// Figure 4: card marked after the store in *every* period; `MarkGray`
+    /// shades only the clear color.
+    Aging,
+}
+
+/// A mutator (application thread) attached to a [`Gc`](crate::Gc).
+///
+/// All heap access goes through this type: [`alloc`](Mutator::alloc)
+/// creates objects, [`write_ref`](Mutator::write_ref) is the write
+/// barrier, and the shadow stack (`root_*`) is what the collector scans as
+/// this thread's roots.
+///
+/// # Liveness rules
+///
+/// * An [`ObjectRef`] is kept alive only while reachable from a shadow
+///   stack, a global root, or another live object.  A ref held only in a
+///   local variable is a "register" in the paper's sense: it stays valid
+///   until the next [`alloc`]/[`cooperate`]/[`parked`] call on this
+///   mutator (no handshake can complete in between), after which it must
+///   have been rooted or stored.
+/// * Call [`cooperate`] regularly from long computation loops that do not
+///   allocate; an on-the-fly collector handshakes with every mutator, and
+///   a non-cooperating thread stalls collection (not program execution).
+/// * Wrap long non-heap work (I/O, waiting) in [`parked`], which lets the
+///   collector respond to handshakes on this thread's behalf.
+///
+/// [`alloc`]: Mutator::alloc
+/// [`cooperate`]: Mutator::cooperate
+/// [`parked`]: Mutator::parked
+#[derive(Debug)]
+pub struct Mutator {
+    shared: Arc<GcShared>,
+    me: Arc<MutatorShared>,
+    lab: Lab,
+    roots: Vec<ObjectRef>,
+    barrier: BarrierKind,
+    /// Bytes allocated since the last trigger evaluation (batched so the
+    /// global trigger checks run once per ~64 KB, not per allocation).
+    unflushed_bytes: usize,
+}
+
+/// Allocation granularity at which collection triggers are re-evaluated.
+const TRIGGER_CHECK_BYTES: usize = 64 << 10;
+
+impl Mutator {
+    pub(crate) fn new(shared: Arc<GcShared>) -> Mutator {
+        let me = shared.register_mutator();
+        let barrier = match shared.config.mode {
+            Mode::NonGenerational => BarrierKind::NonGenerational,
+            Mode::Generational(Promotion::Simple) => BarrierKind::Simple,
+            Mode::Generational(Promotion::Aging { .. }) => BarrierKind::Aging,
+        };
+        Mutator { shared, me, lab: Lab::new(), roots: Vec::new(), barrier, unflushed_bytes: 0 }
+    }
+
+    // ----- allocation (Create, Figure 1) --------------------------------
+
+    /// Allocates an object of the given shape, colored with the current
+    /// allocation color (white between collections; the yellow role during
+    /// a collection, §4/§5).  All reference slots start null and all data
+    /// words start zero.
+    ///
+    /// This is a safe point: the mutator cooperates with any pending
+    /// handshake *before* the object exists, so the returned reference
+    /// stays valid until the next safe point even if not yet rooted.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when a blocking full collection and
+    /// heap growth both fail to free enough space.
+    pub fn alloc(&mut self, shape: &ObjShape) -> Result<ObjectRef, AllocError> {
+        self.cooperate();
+        let n = shape.size_granules() as u32;
+        let start = self.acquire_granules(n)?;
+        let color = self.shared.colors.allocation_color();
+        let obj = self.shared.heap.install_object(start, shape, color);
+        self.after_alloc(shape.size_bytes());
+        Ok(obj)
+    }
+
+    fn acquire_granules(&mut self, n: u32) -> Result<usize, AllocError> {
+        if let Some(s) = self.lab.try_carve(n) {
+            return Ok(s as usize);
+        }
+        let lab_granules = self.shared.config.lab_granules;
+        if n >= lab_granules / 2 {
+            // Large object: allocate its chunk directly.
+            let c = self.alloc_chunk_blocking(n, n)?;
+            debug_assert_eq!(c.len, n);
+            return Ok(c.start as usize);
+        }
+        let chunk = self.alloc_chunk_blocking(n, lab_granules)?;
+        if let Some(rest) = self.lab.refill(chunk) {
+            self.shared.heap.free_chunk(rest);
+        }
+        Ok(self.lab.try_carve(n).expect("fresh LAB fits request") as usize)
+    }
+
+    /// Gets a chunk, blocking on a full collection (and growing the heap)
+    /// when the committed region is exhausted.
+    fn alloc_chunk_blocking(
+        &mut self,
+        min: u32,
+        preferred: u32,
+    ) -> Result<otf_heap::Chunk, AllocError> {
+        for _attempt in 0..8 {
+            if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
+                return Ok(c);
+            }
+            if self.shared.control.is_shutdown() {
+                // No collector to help us; just try to grow.
+                if self.shared.heap.grow().is_none() {
+                    break;
+                }
+                continue;
+            }
+            // Block for a full collection (we park so the collector can
+            // handshake on our behalf).
+            let fulls = self.shared.control.fulls_done();
+            self.shared.control.request_full();
+            let shared = Arc::clone(&self.shared);
+            let completed = self.parked(move || shared.control.wait_for_full(fulls));
+            if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
+                return Ok(c);
+            }
+            // The collection did not produce enough space: grow.
+            if self.shared.heap.grow().is_none() && !completed {
+                break;
+            }
+        }
+        Err(AllocError::OutOfMemory { requested: min as usize * otf_heap::GRANULE })
+    }
+
+    fn after_alloc(&mut self, bytes: usize) {
+        self.unflushed_bytes += bytes;
+        if self.unflushed_bytes < TRIGGER_CHECK_BYTES {
+            return;
+        }
+        let pending = std::mem::take(&mut self.unflushed_bytes);
+        let shared = &self.shared;
+        let since = shared.control.add_allocated(pending as u64);
+        if shared.collecting.load(Ordering::Acquire) {
+            return; // triggers re-evaluated once the cycle finishes
+        }
+        if shared.config.is_generational() && since >= shared.config.young_size as u64 {
+            shared.control.request_partial();
+        }
+        // Full collection when the heap is "almost full" (§3.3) — but only
+        // after some allocation progress, to avoid re-triggering endlessly
+        // on a mostly-live heap.
+        let used = shared.heap.used_bytes() as f64;
+        let committed = shared.heap.committed_bytes() as f64;
+        if used >= shared.config.full_trigger_fraction * committed && since >= (64 << 10) {
+            shared.control.request_full();
+        }
+    }
+
+    // ----- the write barrier (Update, Figures 1 and 4) ------------------
+
+    /// Stores `y` into reference slot `i` of object `x` through the DLG
+    /// write barrier.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `i` is not a reference slot of `x`.
+    pub fn write_ref(&mut self, x: ObjectRef, i: usize, y: ObjectRef) {
+        debug_assert!(!x.is_null(), "store into null object");
+        debug_assert!(
+            i < self.shared.heap.arena().header(x).ref_slots(),
+            "slot {i} out of bounds"
+        );
+        let shared = &self.shared;
+        self.me.epoch_enter();
+        let status = self.me.status.load(Ordering::Acquire);
+        let is_async = status == Status::Async as u8;
+        match self.barrier {
+            BarrierKind::NonGenerational => {
+                if !is_async {
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_snapshot(old);
+                    shared.mark_gray_snapshot(y);
+                } else if shared.tracing.load(Ordering::Acquire) {
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_clear(old);
+                }
+                shared.heap.arena().store_ref_slot(x, i, y);
+            }
+            BarrierKind::Simple => {
+                if !is_async {
+                    // §7.1: in sync1/sync2 the barrier also shades yellow
+                    // objects (mark_gray_snapshot shades both young
+                    // colors); no card marking is needed in this window.
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_snapshot(old);
+                    shared.mark_gray_snapshot(y);
+                } else if shared.tracing.load(Ordering::Acquire) {
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_clear(old);
+                    shared.cards.mark_byte(x.byte());
+                } else {
+                    shared.cards.mark_byte(x.byte());
+                }
+                shared.heap.arena().store_ref_slot(x, i, y);
+            }
+            BarrierKind::Aging => {
+                if !is_async {
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_clear(old);
+                    shared.mark_gray_clear(y);
+                } else if shared.tracing.load(Ordering::Acquire) {
+                    let old = shared.heap.arena().load_ref_slot(x, i);
+                    shared.mark_gray_clear(old);
+                }
+                // §7.2: the store strictly precedes the card mark, so the
+                // collector's clear-check-remark protocol can never lose
+                // an inter-generational pointer.
+                shared.heap.arena().store_ref_slot(x, i, y);
+                shared.cards.mark_byte(x.byte());
+            }
+        }
+        self.me.epoch_exit();
+    }
+
+    /// Loads reference slot `i` of `x`.  Reads need no barrier in DLG.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `i` is not a reference slot of `x`.
+    #[inline]
+    pub fn read_ref(&self, x: ObjectRef, i: usize) -> ObjectRef {
+        debug_assert!(
+            i < self.shared.heap.arena().header(x).ref_slots(),
+            "slot {i} out of bounds"
+        );
+        self.shared.heap.arena().load_ref_slot(x, i)
+    }
+
+    /// Stores a non-reference data word (no barrier needed).
+    #[inline]
+    pub fn write_data(&mut self, x: ObjectRef, i: usize, value: u64) {
+        let ref_slots = self.shared.heap.arena().header(x).ref_slots();
+        self.shared.heap.arena().store_data_word(x, ref_slots, i, value);
+    }
+
+    /// Loads a non-reference data word.
+    #[inline]
+    pub fn read_data(&self, x: ObjectRef, i: usize) -> u64 {
+        let ref_slots = self.shared.heap.arena().header(x).ref_slots();
+        self.shared.heap.arena().load_data_word(x, ref_slots, i)
+    }
+
+    /// The header of `x` (size, slot count, class id).
+    #[inline]
+    pub fn header(&self, x: ObjectRef) -> Header {
+        self.shared.heap.arena().header(x)
+    }
+
+    // ----- cooperation (Figure 1) ----------------------------------------
+
+    /// The safe point: if the collector posted a handshake, respond to it.
+    /// Responding to the third handshake (transition to `async`) marks
+    /// this mutator's shadow-stack roots gray (Figure 1's `Cooperate`).
+    pub fn cooperate(&mut self) {
+        let sc = self.shared.status_c.load(Ordering::Acquire);
+        if self.me.status.load(Ordering::Relaxed) == sc {
+            return;
+        }
+        // Transitions advance one step at a time because the collector
+        // waits for all mutators between handshakes.
+        if sc == Status::Async as u8 {
+            self.me.epoch_enter();
+            for &r in &self.roots {
+                self.shared.mark_gray_snapshot(r);
+            }
+            self.me.epoch_exit();
+        }
+        self.me.status.store(sc, Ordering::Release);
+        self.shared.notify_handshake();
+        // Hand the CPU to the collector right away: the shorter the
+        // sync1/sync2 windows are, the less the snapshot barrier
+        // conservatively retains (on a machine with spare cores this is a
+        // no-op; on an oversubscribed one it keeps handshakes prompt).
+        std::thread::yield_now();
+    }
+
+    /// Runs `f` while parked: the collector may respond to handshakes on
+    /// this mutator's behalf using a snapshot of its shadow stack.  Use
+    /// this around blocking operations that do not touch the heap.
+    pub fn parked<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        {
+            let mut p = self.me.park.lock();
+            p.roots.clear();
+            p.roots.extend_from_slice(&self.roots);
+            p.parked = true;
+        }
+        self.shared.notify_handshake();
+        let result = f();
+        {
+            let mut p = self.me.park.lock();
+            p.parked = false;
+            p.roots.clear();
+        }
+        result
+    }
+
+    // ----- shadow-stack roots --------------------------------------------
+
+    /// Pushes a root; returns its index (for [`root_set`]).
+    ///
+    /// [`root_set`]: Mutator::root_set
+    #[inline]
+    pub fn root_push(&mut self, r: ObjectRef) -> usize {
+        self.roots.push(r);
+        self.roots.len() - 1
+    }
+
+    /// Pops the most recent root and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shadow stack is empty.
+    #[inline]
+    pub fn root_pop(&mut self) -> ObjectRef {
+        self.roots.pop().expect("shadow stack underflow")
+    }
+
+    /// Reads root `i`.
+    #[inline]
+    pub fn root_get(&self, i: usize) -> ObjectRef {
+        self.roots[i]
+    }
+
+    /// Overwrites root `i` (no barrier needed: stacks are scanned at
+    /// handshakes, one of DLG's key efficiency properties).
+    #[inline]
+    pub fn root_set(&mut self, i: usize, r: ObjectRef) {
+        self.roots[i] = r;
+    }
+
+    /// Current shadow-stack depth.
+    #[inline]
+    pub fn root_len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Truncates the shadow stack to `len` entries (popping a frame).
+    #[inline]
+    pub fn root_truncate(&mut self, len: usize) {
+        self.roots.truncate(len);
+    }
+
+    /// Adds a global (static) root.  The object must currently be rooted
+    /// on this mutator's shadow stack (or otherwise reachable).
+    pub fn add_global_root(&self, r: ObjectRef) {
+        self.shared.add_global_root(r);
+    }
+
+    /// Removes one occurrence of a global root; returns whether it was
+    /// present.
+    pub fn remove_global_root(&self, r: ObjectRef) -> bool {
+        self.shared.remove_global_root(r)
+    }
+}
+
+impl Drop for Mutator {
+    fn drop(&mut self) {
+        // Return the unallocated LAB tail and leave the handshake protocol.
+        if let Some(rest) = self.lab.take_remainder() {
+            self.shared.heap.free_chunk(rest);
+        }
+        self.shared.deregister_mutator(&self.me);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcConfig;
+    use crate::state::Status;
+    use otf_heap::Color;
+
+    fn setup(cfg: GcConfig) -> (Arc<GcShared>, Mutator) {
+        let shared = Arc::new(GcShared::new(
+            cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20),
+        ));
+        let m = Mutator::new(Arc::clone(&shared));
+        (shared, m)
+    }
+
+    fn set_mutator_status(m: &Mutator, s: Status) {
+        m.me.status.store(s as u8, Ordering::Release);
+    }
+
+    #[test]
+    fn alloc_uses_allocation_color_and_zeroes_slots() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let obj = m.alloc(&ObjShape::new(2, 1)).unwrap();
+        assert_eq!(shared.heap.colors().get(obj.granule()), Color::White);
+        assert!(m.read_ref(obj, 0).is_null());
+        assert_eq!(m.read_data(obj, 0), 0);
+        shared.colors.toggle();
+        let obj2 = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        assert_eq!(shared.heap.colors().get(obj2.granule()), Color::Yellow);
+    }
+
+    #[test]
+    fn simple_barrier_async_idle_marks_card_only() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let y = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.write_ref(x, 0, y);
+        // Card of x's header dirty; nothing grayed.
+        assert!(shared.cards.is_dirty(shared.cards.card_of_byte(x.byte())));
+        assert_eq!(shared.heap.colors().get(y.granule()), Color::White);
+        assert!(shared.gray.is_empty());
+        assert_eq!(m.read_ref(x, 0), y);
+    }
+
+    #[test]
+    fn simple_barrier_async_tracing_grays_old_value() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let old = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        let new = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.write_ref(x, 0, old);
+        // Enter "collector is tracing" with the toggle flipped, so the
+        // stored objects carry the clear color.
+        shared.colors.toggle();
+        shared.tracing.store(true, Ordering::Release);
+        m.write_ref(x, 0, new);
+        // Old value (clear-colored) grayed; new value not.
+        assert_eq!(shared.heap.colors().get(old.granule()), Color::Gray);
+        assert_eq!(shared.gray.pop(), Some(old));
+        assert_eq!(shared.heap.colors().get(new.granule()), Color::White);
+    }
+
+    #[test]
+    fn simple_barrier_sync_grays_both_including_yellow() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let old = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.write_ref(x, 0, old);
+        shared.colors.toggle();
+        // A "yellow" object (current allocation color).
+        let yellow = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        assert_eq!(shared.heap.colors().get(yellow.granule()), Color::Yellow);
+        // Mutator perceives sync1: §7.1's exception — yellow is shaded too.
+        shared.post_handshake(Status::Sync1);
+        set_mutator_status(&m, Status::Sync1);
+        // Clear the dirt left by the async-phase write above so the card
+        // assertion below observes only the sync-phase barrier.
+        shared.cards.clear(shared.cards.card_of_byte(x.byte()));
+        m.write_ref(x, 0, yellow);
+        assert_eq!(shared.heap.colors().get(old.granule()), Color::Gray);
+        assert_eq!(shared.heap.colors().get(yellow.granule()), Color::Gray);
+        // No card marking in sync periods for the simple variant (§7.1).
+        assert!(!shared.cards.is_dirty(shared.cards.card_of_byte(x.byte())));
+    }
+
+    #[test]
+    fn aging_barrier_always_marks_card_after_store() {
+        let (shared, mut m) = setup(GcConfig::aging(4));
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let y = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        // Even in a sync period the aging barrier marks the card (Fig 4).
+        shared.post_handshake(Status::Sync1);
+        set_mutator_status(&m, Status::Sync1);
+        m.write_ref(x, 0, y);
+        assert!(shared.cards.is_dirty(shared.cards.card_of_byte(x.byte())));
+        // Aging MarkGray shades only the clear color: y has the
+        // allocation color, so it is NOT grayed.
+        assert_eq!(shared.heap.colors().get(y.granule()), Color::White);
+    }
+
+    #[test]
+    fn non_generational_barrier_never_touches_cards() {
+        let (shared, mut m) = setup(GcConfig::non_generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let y = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.write_ref(x, 0, y);
+        shared.tracing.store(true, Ordering::Release);
+        m.write_ref(x, 0, y);
+        assert_eq!(shared.cards.count_dirty(shared.cards.len()), 0);
+    }
+
+    #[test]
+    fn cooperate_marks_roots_on_third_handshake_only() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let r = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.root_push(r);
+        shared.post_handshake(Status::Sync1);
+        m.cooperate();
+        assert_eq!(shared.heap.colors().get(r.granule()), Color::White);
+        shared.post_handshake(Status::Sync2);
+        m.cooperate();
+        assert_eq!(shared.heap.colors().get(r.granule()), Color::White);
+        shared.post_handshake(Status::Async);
+        m.cooperate();
+        assert_eq!(shared.heap.colors().get(r.granule()), Color::Gray);
+        assert_eq!(shared.gray.pop(), Some(r));
+    }
+
+    #[test]
+    fn shadow_stack_operations() {
+        let (_shared, mut m) = setup(GcConfig::generational());
+        let a = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        let b = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        let ia = m.root_push(a);
+        let ib = m.root_push(b);
+        assert_eq!((ia, ib), (0, 1));
+        assert_eq!(m.root_len(), 2);
+        assert_eq!(m.root_get(0), a);
+        m.root_set(0, b);
+        assert_eq!(m.root_get(0), b);
+        assert_eq!(m.root_pop(), b);
+        m.root_truncate(0);
+        assert_eq!(m.root_len(), 0);
+    }
+
+    #[test]
+    fn parked_publishes_root_snapshot() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let r = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        m.root_push(r);
+        let me = Arc::clone(&m.me);
+        let result = m.parked(|| {
+            let p = me.park.lock();
+            assert!(p.parked);
+            assert_eq!(p.roots.as_slice(), &[r]);
+            7
+        });
+        assert_eq!(result, 7);
+        assert!(!m.me.park.lock().parked);
+        let _ = shared;
+    }
+
+    #[test]
+    fn epochs_bracket_the_barrier() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        assert!(m.me.epoch_is_even());
+        m.write_ref(x, 0, ObjectRef::NULL);
+        assert!(m.me.epoch_is_even(), "barrier must exit its epoch");
+        let _ = shared;
+    }
+
+    #[test]
+    fn large_objects_bypass_the_lab() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        // Larger than half a LAB: direct chunk allocation.
+        let big = ObjShape::new(0, 3000);
+        let obj = m.alloc(&big).unwrap();
+        assert_eq!(shared.heap.colors().get(obj.granule()), Color::White);
+        assert_eq!(m.header(obj).size_granules(), big.size_granules());
+    }
+
+    #[test]
+    fn oom_error_reports_requested_bytes() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        // These unit tests run without a collector thread, so shut the
+        // control down: the blocking allocation path then falls back to
+        // heap growth only, and reports OOM once the 1 MB heap is full.
+        shared.control.begin_shutdown();
+        let shape = ObjShape::new(0, 1000); // ~8 KB objects
+        let mut oom = None;
+        for _ in 0..400 {
+            match m.alloc(&shape) {
+                Ok(r) => {
+                    m.root_push(r);
+                }
+                Err(e) => {
+                    oom = Some(e);
+                    break;
+                }
+            }
+        }
+        match oom {
+            Some(AllocError::OutOfMemory { requested }) => {
+                assert!(requested >= shape.size_bytes());
+            }
+            None => panic!("1 MB heap never overflowed"),
+        }
+    }
+}

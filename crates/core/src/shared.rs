@@ -1,0 +1,446 @@
+//! `GcShared`: the state shared by every mutator and the collector thread,
+//! plus the graying primitives and the soft-handshake protocol.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::queue::SegQueue;
+use otf_heap::{CardTable, Color, HeapSpace, ObjectRef};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::GcConfig;
+use crate::control::Control;
+use crate::state::{ColorState, MutatorShared, Status};
+use crate::stats::CycleStats;
+
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub cycles: Vec<CycleStats>,
+    pub gc_active: Duration,
+}
+
+/// State shared between all mutators and the collector.
+pub(crate) struct GcShared {
+    pub config: GcConfig,
+    pub heap: HeapSpace,
+    pub cards: CardTable,
+    pub colors: ColorState,
+    /// The collector's status (`status_c` in the pseudo-code).
+    pub status_c: AtomicU8,
+    /// True while the collector is tracing ("Collector is tracing" in the
+    /// write barrier, Figure 1).
+    pub tracing: AtomicBool,
+    /// True while any collection cycle is in progress.
+    pub collecting: AtomicBool,
+    /// The gray-object work queue.  Mutators push after winning the
+    /// gray-coloring CAS; only the collector pops.
+    pub gray: SegQueue<ObjectRef>,
+    /// Registered mutators.
+    pub mutators: Mutex<Vec<Arc<MutatorShared>>>,
+    /// Global (static) roots, marked by the collector at the third
+    /// handshake.
+    pub globals: Mutex<Vec<ObjectRef>>,
+    pub control: Control,
+    pub stats: Mutex<StatsInner>,
+    pub start: Instant,
+    /// Handshake wakeup: mutators notify after adopting a posted status
+    /// (and when parking), so the collector sleeps instead of spinning —
+    /// essential on machines with fewer cores than threads.
+    hs_lock: Mutex<()>,
+    hs_cond: Condvar,
+}
+
+impl std::fmt::Debug for GcShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcShared")
+            .field("config", &self.config)
+            .field("status_c", &self.status_c)
+            .field("collecting", &self.collecting)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GcShared {
+    pub(crate) fn new(config: GcConfig) -> GcShared {
+        config.validate().expect("invalid GcConfig");
+        let heap = HeapSpace::new(config.max_heap, config.initial_heap);
+        let cards = CardTable::new(config.max_heap, config.card_size);
+        GcShared {
+            config,
+            heap,
+            cards,
+            colors: ColorState::new(),
+            status_c: AtomicU8::new(Status::Async as u8),
+            tracing: AtomicBool::new(false),
+            collecting: AtomicBool::new(false),
+            gray: SegQueue::new(),
+            mutators: Mutex::new(Vec::new()),
+            globals: Mutex::new(Vec::new()),
+            control: Control::new(),
+            stats: Mutex::new(StatsInner::default()),
+            start: Instant::now(),
+            hs_lock: Mutex::new(()),
+            hs_cond: Condvar::new(),
+        }
+    }
+
+    /// Wakes a collector blocked in [`wait_handshake`].  Called by
+    /// mutators right after adopting a posted status or parking.
+    ///
+    /// [`wait_handshake`]: GcShared::wait_handshake
+    pub(crate) fn notify_handshake(&self) {
+        let _guard = self.hs_lock.lock();
+        self.hs_cond.notify_all();
+    }
+
+    /// The collector's current status.
+    #[inline]
+    pub(crate) fn status_c(&self) -> Status {
+        Status::from_byte(self.status_c.load(Ordering::Acquire))
+    }
+
+    /// The color that "black" plays during trace: literal black for the
+    /// generational variants (black ⇔ traced, and in the simple variant
+    /// also ⇔ old); for the non-generational baseline the *allocation*
+    /// color is the mark color, which is how the black/white color toggle
+    /// of Remark 5.1 avoids any recoloring pass.
+    #[inline]
+    pub(crate) fn trace_target(&self) -> Color {
+        if self.config.is_generational() {
+            Color::Black
+        } else {
+            self.colors.allocation_color()
+        }
+    }
+
+    /// `MarkGray` as the collector (and the async-phase write barrier)
+    /// performs it: shade the object only if it has the clear color.
+    #[inline]
+    pub(crate) fn mark_gray_clear(&self, obj: ObjectRef) {
+        if obj.is_null() {
+            return;
+        }
+        let clear = self.colors.clear_color();
+        if self.heap.colors().cas(obj.granule(), clear, Color::Gray) {
+            self.gray.push(obj);
+        }
+    }
+
+    /// `MarkGray` as performed in the sync1/sync2 window and at root
+    /// marking: both young colors are shaded (the §7.1 yellow exception —
+    /// "whenever the DLG write barrier would shade a white object gray, it
+    /// will also shade a yellow object gray").
+    #[inline]
+    pub(crate) fn mark_gray_snapshot(&self, obj: ObjectRef) {
+        if obj.is_null() {
+            return;
+        }
+        let g = obj.granule();
+        let ct = self.heap.colors();
+        if ct.cas(g, Color::White, Color::Gray) || ct.cas(g, Color::Yellow, Color::Gray) {
+            self.gray.push(obj);
+        }
+    }
+
+    /// Grays an old (black) object found on a dirty card so the trace will
+    /// re-scan it (simple variant `ClearCards`, Figure 3).  Returns whether
+    /// this call performed the shading.
+    #[inline]
+    #[allow(dead_code)] // exercised by unit tests
+    pub(crate) fn mark_gray_from_black(&self, obj: ObjectRef) -> bool {
+        let shaded = self.heap.colors().cas(obj.granule(), Color::Black, Color::Gray);
+        if shaded {
+            self.gray.push(obj);
+        }
+        shaded
+    }
+
+    /// Collector-side `MarkGray` onto the collector's private mark stack
+    /// (cheaper than the shared queue; only the collector pops it).
+    #[inline]
+    pub(crate) fn mark_gray_clear_local(&self, obj: ObjectRef, stack: &mut Vec<ObjectRef>) {
+        if obj.is_null() {
+            return;
+        }
+        let clear = self.colors.clear_color();
+        if self.heap.colors().cas(obj.granule(), clear, Color::Gray) {
+            stack.push(obj);
+        }
+    }
+
+    /// Collector-side snapshot `MarkGray` (both young colors) onto the
+    /// private mark stack.
+    #[inline]
+    pub(crate) fn mark_gray_snapshot_local(&self, obj: ObjectRef, stack: &mut Vec<ObjectRef>) {
+        if obj.is_null() {
+            return;
+        }
+        let g = obj.granule();
+        let ct = self.heap.colors();
+        if ct.cas(g, Color::White, Color::Gray) || ct.cas(g, Color::Yellow, Color::Gray) {
+            stack.push(obj);
+        }
+    }
+
+    // ----- handshakes (§7: postHandshake / waitHandshake) -----
+
+    /// `postHandshake(s)`: announce the new status.
+    pub(crate) fn post_handshake(&self, s: Status) {
+        self.status_c.store(s as u8, Ordering::Release);
+    }
+
+    /// `waitHandshake`: wait until every mutator has adopted the posted
+    /// status.  Parked mutators are responded-to on their behalf under the
+    /// park lock: if the transition is to `Async` (the third handshake),
+    /// the collector marks the parked mutator's snapshot roots gray.
+    pub(crate) fn wait_handshake(&self) {
+        let target = self.status_c.load(Ordering::Acquire);
+        let snapshot: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
+        loop {
+            let mut all_responded = true;
+            for m in &snapshot {
+                if m.status.load(Ordering::Acquire) == target {
+                    continue;
+                }
+                let park = m.park.lock();
+                if park.parked {
+                    // Respond on the parked mutator's behalf.
+                    if target == Status::Async as u8 {
+                        for &r in &park.roots {
+                            self.mark_gray_snapshot(r);
+                        }
+                    }
+                    m.status.store(target, Ordering::Release);
+                } else {
+                    all_responded = false;
+                }
+            }
+            if all_responded {
+                return;
+            }
+            // Sleep until a mutator responds.  The status re-check under
+            // the handshake lock pairs with the mutators' notify-under-
+            // lock, so a response cannot be missed; the timeout only
+            // covers park-state transitions racing the check.
+            let mut guard = self.hs_lock.lock();
+            let responded_now = snapshot.iter().all(|m| {
+                m.status.load(Ordering::Acquire) == target || m.park.lock().parked
+            });
+            if !responded_now {
+                self.hs_cond.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Convenience: `Handshake(s)` = post + wait (Figure 3).
+    pub(crate) fn handshake(&self, s: Status) {
+        self.post_handshake(s);
+        self.wait_handshake();
+    }
+
+    /// Registers a new mutator.  It joins with the collector's current
+    /// status (it has no roots yet and has performed no updates, so it has
+    /// trivially responded to any in-flight handshake).
+    pub(crate) fn register_mutator(&self) -> Arc<MutatorShared> {
+        let mut list = self.mutators.lock();
+        let status = self.status_c();
+        let m = Arc::new(MutatorShared::new(status));
+        list.push(Arc::clone(&m));
+        m
+    }
+
+    /// Deregisters a mutator (on `Mutator` drop).  Its shadow stack is
+    /// gone, so it parks forever with an empty root snapshot; a collector
+    /// mid-`waitHandshake` will proxy any outstanding response.
+    pub(crate) fn deregister_mutator(&self, m: &Arc<MutatorShared>) {
+        {
+            let mut park = m.park.lock();
+            park.parked = true;
+            park.roots.clear();
+        }
+        {
+            let mut list = self.mutators.lock();
+            if let Some(pos) = list.iter().position(|x| Arc::ptr_eq(x, m)) {
+                list.swap_remove(pos);
+            }
+        }
+        self.notify_handshake();
+    }
+
+    /// Adds a global (static) root.
+    pub(crate) fn add_global_root(&self, r: ObjectRef) {
+        if !r.is_null() {
+            self.globals.lock().push(r);
+        }
+    }
+
+    /// Removes one occurrence of a global root.  Returns whether it was
+    /// present.
+    pub(crate) fn remove_global_root(&self, r: ObjectRef) -> bool {
+        let mut g = self.globals.lock();
+        if let Some(pos) = g.iter().position(|&x| x == r) {
+            g.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks all global roots gray (between the third `postHandshake` and
+    /// its `waitHandshake`, Figure 2).
+    pub(crate) fn mark_global_roots_local(&self, stack: &mut Vec<ObjectRef>) {
+        let globals = self.globals.lock().clone();
+        for r in globals {
+            self.mark_gray_snapshot_local(r, stack);
+        }
+    }
+
+    /// Queue-based variant (tests).
+    #[allow(dead_code)]
+    pub(crate) fn mark_global_roots(&self) {
+        let globals = self.globals.lock().clone();
+        for r in globals {
+            self.mark_gray_snapshot(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GcShared {
+        GcShared::new(
+            GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+        )
+    }
+
+    fn alloc_white(sh: &GcShared, refs: usize) -> ObjectRef {
+        let shape = otf_heap::ObjShape::new(refs, 0);
+        let n = shape.size_granules() as u32;
+        let c = sh.heap.alloc_chunk(n, n).unwrap();
+        sh.heap.install_object(c.start as usize, &shape, sh.colors.allocation_color())
+    }
+
+    #[test]
+    fn trace_target_by_mode() {
+        let sh = small();
+        assert_eq!(sh.trace_target(), Color::Black);
+        let sh = GcShared::new(
+            GcConfig::non_generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+        );
+        assert_eq!(sh.trace_target(), Color::White);
+        sh.colors.toggle();
+        assert_eq!(sh.trace_target(), Color::Yellow);
+    }
+
+    #[test]
+    fn mark_gray_clear_only_shades_clear_color() {
+        let sh = small();
+        let obj = alloc_white(&sh, 1); // allocated White; clear color is Yellow
+        sh.mark_gray_clear(obj);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::White);
+        assert!(sh.gray.is_empty());
+        sh.colors.toggle(); // now White is the clear color
+        sh.mark_gray_clear(obj);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Gray);
+        assert_eq!(sh.gray.pop(), Some(obj));
+    }
+
+    #[test]
+    fn mark_gray_snapshot_shades_both_young_colors() {
+        let sh = small();
+        let a = alloc_white(&sh, 0);
+        sh.colors.toggle();
+        let b = alloc_white(&sh, 0); // allocated Yellow
+        sh.mark_gray_snapshot(a);
+        sh.mark_gray_snapshot(b);
+        assert_eq!(sh.heap.colors().get(a.granule()), Color::Gray);
+        assert_eq!(sh.heap.colors().get(b.granule()), Color::Gray);
+        // Exactly two pushes, no duplicates on re-graying.
+        sh.mark_gray_snapshot(a);
+        let mut n = 0;
+        while sh.gray.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn null_is_never_grayed() {
+        let sh = small();
+        sh.mark_gray_clear(ObjectRef::NULL);
+        sh.mark_gray_snapshot(ObjectRef::NULL);
+        assert!(sh.gray.is_empty());
+    }
+
+    #[test]
+    fn handshake_with_parked_mutator_marks_snapshot_roots() {
+        let sh = small();
+        let m = sh.register_mutator();
+        let obj = alloc_white(&sh, 0);
+        {
+            let mut p = m.park.lock();
+            p.parked = true;
+            p.roots.push(obj);
+        }
+        sh.handshake(Status::Sync1);
+        sh.handshake(Status::Sync2);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::White);
+        sh.handshake(Status::Async);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Gray);
+        assert_eq!(m.status(), Status::Async);
+    }
+
+    #[test]
+    fn handshake_with_cooperating_mutator() {
+        let sh = Arc::new(small());
+        let m = sh.register_mutator();
+        let sh2 = Arc::clone(&sh);
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            // Emulate a cooperating mutator: adopt whatever the collector
+            // posts until Async comes around again.
+            loop {
+                let sc = sh2.status_c.load(Ordering::Acquire);
+                let sm = m2.status.load(Ordering::Acquire);
+                if sm != sc {
+                    m2.status.store(sc, Ordering::Release);
+                    if sc == Status::Async as u8 {
+                        break;
+                    }
+                }
+                std::thread::yield_now();
+            }
+        });
+        sh.handshake(Status::Sync1);
+        sh.handshake(Status::Sync2);
+        sh.handshake(Status::Async);
+        t.join().unwrap();
+        assert_eq!(m.status(), Status::Async);
+    }
+
+    #[test]
+    fn global_roots_add_remove_mark() {
+        let sh = small();
+        let obj = alloc_white(&sh, 0);
+        sh.add_global_root(obj);
+        sh.add_global_root(ObjectRef::NULL); // ignored
+        assert!(sh.remove_global_root(obj));
+        assert!(!sh.remove_global_root(obj));
+        sh.add_global_root(obj);
+        sh.mark_global_roots();
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Gray);
+    }
+
+    #[test]
+    fn deregister_removes_from_list() {
+        let sh = small();
+        let m = sh.register_mutator();
+        assert_eq!(sh.mutators.lock().len(), 1);
+        sh.deregister_mutator(&m);
+        assert_eq!(sh.mutators.lock().len(), 0);
+        assert!(m.park.lock().parked);
+    }
+}

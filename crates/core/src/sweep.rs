@@ -1,0 +1,288 @@
+//! The concurrent sweep (Figures 2 and 5).
+//!
+//! Sweep walks the color table linearly from the first granule to the
+//! allocation frontier:
+//!
+//! * **clear-colored** objects are reclaimed: their granules become `Free`
+//!   and contiguous reclaimed runs are coalesced into one chunk for the
+//!   free lists;
+//! * **black** objects stay black — in the simple generational variant
+//!   this *is* promotion ("if we do not turn these objects white during
+//!   the sweep, then black objects are in the old generation", §3);
+//! * **allocation-colored** objects (created during the cycle — the
+//!   paper's yellow) are left untouched, so they are *not* promoted (§4);
+//!   thanks to the color toggle they need no recoloring either (§5);
+//! * in the **aging** variant, survivors below the tenuring threshold are
+//!   recolored to the allocation color and their age incremented
+//!   (Figure 5), so only objects that reach the threshold stay black.
+//!
+//! Races with concurrent allocation are benign by construction: sweep
+//! skips `Free`/`Interior` bytes one granule at a time and never re-inserts
+//! already-free space into the free lists (see `otf_heap::freelist`).
+
+use otf_heap::{Chunk, Color, GRANULE};
+
+use crate::config::{Mode, Promotion};
+use crate::cycle::CycleCx;
+use crate::shared::GcShared;
+
+impl GcShared {
+    /// Runs the sweep for the current cycle.
+    pub(crate) fn sweep(&self, cx: &mut CycleCx) {
+        let clear = self.colors.clear_color();
+        let alloc = self.colors.allocation_color();
+        let colors = self.heap.colors();
+        let ages = self.heap.ages();
+        let end = self.heap.frontier_granule();
+        let aging = match self.config.mode {
+            Mode::Generational(Promotion::Aging { threshold }) => Some(threshold),
+            _ => None,
+        };
+
+        // Sweep reads every color byte up to the frontier.
+        cx.touch_color_range(1, end);
+
+        let mut run: Option<Chunk> = None;
+        let mut batch: Vec<Chunk> = Vec::with_capacity(64);
+        let mut g = 1usize;
+        while g < end {
+            // Fast path: skip reclaimed / unallocated / in-flight space
+            // with relaxed loads.  Such space is never reclaimed again, so
+            // any pending run must be flushed before crossing it (we must
+            // not merge chunks into space someone else may own).
+            let next = colors.skip_non_object(g, end);
+            if next != g {
+                Self::flush_run(&mut run, &mut batch);
+                if batch.len() >= 256 {
+                    // Publish reclaimed space promptly so concurrent
+                    // allocation never starves behind a long sweep.
+                    self.heap.free_chunk_batch(&batch);
+                    batch.clear();
+                }
+                g = next;
+                continue;
+            }
+            // The color table alone drives the parse: the object's
+            // extent is its run of Interior bytes, so sweep never touches
+            // the arena at all (headers included) — the non-moving
+            // free-chunk records live in side storage too.
+            let color = colors.get(g); // acquire pairs with allocation
+            let obj_end = colors.object_end(g, end);
+            let size = obj_end - g;
+            if color == clear {
+                // Reclaim: free ← free ∪ x; color(x) ← blue.
+                cx.counters.objects_freed += 1;
+                cx.counters.bytes_freed += (size * GRANULE) as u64;
+                colors.fill(g, size, Color::Free);
+                ages.set(g, 0);
+                run = Some(match run {
+                    Some(r) if r.end() as usize == g => Chunk::new(r.start, r.len + size as u32),
+                    Some(r) => {
+                        batch.push(r);
+                        Chunk::new(g as u32, size as u32)
+                    }
+                    None => Chunk::new(g as u32, size as u32),
+                });
+            } else {
+                // Survivor (traced, created-during-cycle, or — for
+                // robustness — a leaked gray, treated as live).
+                Self::flush_run(&mut run, &mut batch);
+                cx.counters.objects_survived += 1;
+                cx.counters.bytes_survived += (size * GRANULE) as u64;
+                if color == alloc {
+                    cx.counters.bytes_alloc_colored += (size * GRANULE) as u64;
+                }
+                match aging {
+                    Some(threshold) => {
+                        cx.touch_age(g);
+                        let age = ages.get(g);
+                        if age < threshold {
+                            // Young survivor: stays in the young
+                            // generation with one more birthday.
+                            colors.set(g, alloc);
+                            ages.set(g, age + 1);
+                        } else if color == Color::Gray {
+                            colors.set(g, Color::Black);
+                        }
+                    }
+                    None => {
+                        if color == Color::Gray {
+                            // A gray that escaped the trace: keep it
+                            // conservatively as marked.
+                            colors.set(g, self.trace_target());
+                        }
+                        // Simple variant: black stays black (promotion);
+                        // allocation color untouched.
+                    }
+                }
+            }
+            g = obj_end;
+        }
+        Self::flush_run(&mut run, &mut batch);
+        self.heap.free_chunk_batch(&batch);
+    }
+
+    /// Moves a finished reclaimed run into the pending batch (inserted
+    /// into the free lists in bulk at the end of the sweep).
+    fn flush_run(run: &mut Option<Chunk>, batch: &mut Vec<Chunk>) {
+        if let Some(r) = run.take() {
+            batch.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcConfig;
+    use crate::cycle::CycleCx;
+    use otf_heap::{ObjShape, ObjectRef};
+
+    fn setup(cfg: GcConfig) -> (GcShared, CycleCx) {
+        let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
+        let cx = CycleCx::new(&sh);
+        (sh, cx)
+    }
+
+    fn alloc(sh: &GcShared, granules: usize, color: Color) -> ObjectRef {
+        // granules*2 - 1 words total => exactly `granules` granules.
+        let shape = ObjShape::new(0, granules * 2 - 1);
+        assert_eq!(shape.size_granules(), granules);
+        let c = sh.heap.alloc_chunk(granules as u32, granules as u32).unwrap();
+        sh.heap.install_object(c.start as usize, &shape, color)
+    }
+
+    #[test]
+    fn sweep_frees_clear_colored_only() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        sh.colors.toggle(); // clear = White, allocation = Yellow
+        let dead = alloc(&sh, 2, Color::White);
+        let black = alloc(&sh, 2, Color::Black);
+        let infant = alloc(&sh, 2, Color::Yellow);
+        sh.sweep(&mut cx);
+        assert_eq!(sh.heap.colors().get(dead.granule()), Color::Free);
+        assert_eq!(sh.heap.colors().get(black.granule()), Color::Black);
+        assert_eq!(sh.heap.colors().get(infant.granule()), Color::Yellow);
+        assert_eq!(cx.counters.objects_freed, 1);
+        assert_eq!(cx.counters.bytes_freed, 32);
+        assert_eq!(cx.counters.objects_survived, 2);
+    }
+
+    #[test]
+    fn sweep_coalesces_adjacent_dead_objects() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        sh.colors.toggle();
+        let a = alloc(&sh, 2, Color::White);
+        let _b = alloc(&sh, 3, Color::White);
+        let _c = alloc(&sh, 1, Color::White);
+        let live = alloc(&sh, 1, Color::Black);
+        sh.sweep(&mut cx);
+        assert_eq!(cx.counters.objects_freed, 3);
+        // One coalesced chunk of 6 granules is available again.
+        let chunk = sh.heap.alloc_chunk(6, 6).expect("coalesced chunk");
+        assert_eq!(chunk.start as usize, a.granule());
+        assert_eq!(chunk.len, 6);
+        assert_eq!(sh.heap.colors().get(live.granule()), Color::Black);
+    }
+
+    #[test]
+    fn sweep_run_not_merged_across_live_object() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        sh.colors.toggle();
+        let _a = alloc(&sh, 2, Color::White);
+        let _live = alloc(&sh, 1, Color::Black);
+        let _b = alloc(&sh, 2, Color::White);
+        sh.sweep(&mut cx);
+        // Two separate 2-granule chunks, not one 4-granule chunk.
+        assert!(sh.heap.alloc_chunk(4, 4).is_none() || sh.heap.frontier_granule() > 6);
+        assert!(sh.heap.alloc_chunk(2, 2).is_some());
+        assert!(sh.heap.alloc_chunk(2, 2).is_some());
+    }
+
+    #[test]
+    fn sweep_promotes_gray_leak() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        sh.colors.toggle();
+        let gray = alloc(&sh, 1, Color::Gray);
+        sh.sweep(&mut cx);
+        assert_eq!(sh.heap.colors().get(gray.granule()), Color::Black);
+    }
+
+    #[test]
+    fn aging_sweep_ages_and_demotes_young_survivors() {
+        let threshold = 3;
+        let (sh, mut cx) = setup(GcConfig::aging(threshold));
+        sh.colors.toggle(); // allocation = Yellow, clear = White
+        // A traced (black) object of age 1: young survivor.
+        let young = alloc(&sh, 1, Color::Black);
+        sh.heap.ages().set(young.granule(), 1);
+        // A traced object at the threshold: tenured, stays black.
+        let old = alloc(&sh, 1, Color::Black);
+        sh.heap.ages().set(old.granule(), threshold);
+        // An infant created during the cycle.
+        let infant = alloc(&sh, 1, Color::Yellow);
+        assert_eq!(sh.heap.ages().get(infant.granule()), 1);
+
+        sh.sweep(&mut cx);
+
+        assert_eq!(sh.heap.colors().get(young.granule()), Color::Yellow);
+        assert_eq!(sh.heap.ages().get(young.granule()), 2);
+        assert_eq!(sh.heap.colors().get(old.granule()), Color::Black);
+        assert_eq!(sh.heap.ages().get(old.granule()), threshold);
+        // The infant also ages (Figure 5 increments every non-tenured
+        // survivor) and keeps the allocation color.
+        assert_eq!(sh.heap.colors().get(infant.granule()), Color::Yellow);
+        assert_eq!(sh.heap.ages().get(infant.granule()), 2);
+    }
+
+    #[test]
+    fn aging_sweep_tenures_at_threshold() {
+        let threshold = 2;
+        let (sh, mut cx) = setup(GcConfig::aging(threshold));
+        sh.colors.toggle();
+        let obj = alloc(&sh, 1, Color::Black);
+        sh.heap.ages().set(obj.granule(), 1);
+        sh.sweep(&mut cx);
+        // age 1 -> 2 == threshold, but recolored young this time.
+        assert_eq!(sh.heap.ages().get(obj.granule()), 2);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Yellow);
+        // Next cycle it is traced black again and now stays black.
+        sh.colors.toggle();
+        sh.heap.colors().set(obj.granule(), Color::Black);
+        let mut cx2 = CycleCx::new(&sh);
+        sh.sweep(&mut cx2);
+        assert_eq!(sh.heap.colors().get(obj.granule()), Color::Black);
+        assert_eq!(sh.heap.ages().get(obj.granule()), threshold);
+    }
+
+    #[test]
+    fn sweep_clears_age_of_freed_objects() {
+        let (sh, mut cx) = setup(GcConfig::aging(4));
+        sh.colors.toggle();
+        let dead = alloc(&sh, 1, Color::White);
+        sh.heap.ages().set(dead.granule(), 3);
+        sh.sweep(&mut cx);
+        assert_eq!(sh.heap.ages().get(dead.granule()), 0);
+    }
+
+    #[test]
+    fn non_generational_sweep_keeps_marked() {
+        let (sh, mut cx) = setup(GcConfig::non_generational());
+        sh.colors.toggle(); // allocation (= mark) Yellow, clear White
+        let marked = alloc(&sh, 1, Color::Yellow);
+        let dead = alloc(&sh, 1, Color::White);
+        sh.sweep(&mut cx);
+        assert_eq!(sh.heap.colors().get(marked.granule()), Color::Yellow);
+        assert_eq!(sh.heap.colors().get(dead.granule()), Color::Free);
+    }
+
+    #[test]
+    fn reclaimed_space_is_reusable() {
+        let (sh, mut cx) = setup(GcConfig::generational());
+        sh.colors.toggle();
+        let dead = alloc(&sh, 4, Color::White);
+        sh.sweep(&mut cx);
+        let c = sh.heap.alloc_chunk(4, 4).unwrap();
+        assert_eq!(c.start as usize, dead.granule());
+    }
+}

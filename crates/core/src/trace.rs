@@ -1,0 +1,195 @@
+//! The transitive mark phase (`trace` in Figure 2) with sound on-the-fly
+//! termination detection.
+
+use otf_heap::{Color, ObjectRef};
+
+use crate::cycle::CycleCx;
+use crate::shared::GcShared;
+
+impl GcShared {
+    /// `MarkBlack` (Figure 3): shade every son gray, then color the object
+    /// with the trace target color (black in the generational variants;
+    /// the current allocation color in the toggled non-generational
+    /// baseline).
+    pub(crate) fn mark_black(&self, obj: ObjectRef, target: Color, cx: &mut CycleCx) {
+        let g = obj.granule();
+        let colors = self.heap.colors();
+        if colors.get(g) == target {
+            return; // duplicate queue entry
+        }
+        let header = self.heap.arena().header(obj);
+        let ref_slots = header.ref_slots();
+        for i in 0..ref_slots {
+            let son = self.heap.arena().load_ref_slot(obj, i);
+            self.mark_gray_clear_local(son, &mut cx.mark_stack);
+        }
+        colors.set(g, target);
+        cx.counters.objects_traced += 1;
+        cx.touch_object(obj, 1 + ref_slots);
+        cx.touch_color(g);
+    }
+
+    /// The trace loop: pop gray objects and blacken them until no gray
+    /// object exists.
+    ///
+    /// Termination is subtle on-the-fly: a mutator's write barrier first
+    /// CASes a color to gray and *then* pushes the object on the queue, so
+    /// an empty queue alone does not mean no gray objects.  Every
+    /// gray-producing mutator operation is bracketed by an epoch counter
+    /// (odd while inside); the collector believes an empty queue only
+    /// after observing all epochs even *and then* the queue still empty.
+    /// Any barrier that starts after that point can only shade objects the
+    /// DLG invariants already guarantee are marked (see DESIGN.md §4.3).
+    pub(crate) fn trace(&self, cx: &mut CycleCx) {
+        let target = self.trace_target();
+        loop {
+            while let Some(obj) = cx.mark_stack.pop() {
+                self.mark_black(obj, target, cx);
+            }
+            if let Some(obj) = self.gray.pop() {
+                self.mark_black(obj, target, cx);
+                continue;
+            }
+            let all_even = {
+                let mutators = self.mutators.lock();
+                mutators.iter().all(|m| m.epoch_is_even())
+            };
+            if all_even && cx.mark_stack.is_empty() && self.gray.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcConfig;
+    use crate::cycle::CycleCx;
+    use otf_heap::ObjShape;
+
+    fn setup() -> (GcShared, CycleCx) {
+        let sh = GcShared::new(
+            GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+        );
+        let cx = CycleCx::new(&sh);
+        (sh, cx)
+    }
+
+    fn alloc(sh: &GcShared, refs: usize, color: Color) -> ObjectRef {
+        let shape = ObjShape::new(refs, 1);
+        let n = shape.size_granules() as u32;
+        let c = sh.heap.alloc_chunk(n, n).unwrap();
+        sh.heap.install_object(c.start as usize, &shape, color)
+    }
+
+    #[test]
+    fn trace_marks_reachable_chain() {
+        let (sh, mut cx) = setup();
+        // Build a chain a -> b -> c, all clear-colored.
+        sh.colors.toggle(); // clear color is now White (allocation Yellow)
+        let c = alloc(&sh, 1, Color::White);
+        let b = alloc(&sh, 1, Color::White);
+        let a = alloc(&sh, 1, Color::White);
+        sh.heap.arena().store_ref_slot(a, 0, b);
+        sh.heap.arena().store_ref_slot(b, 0, c);
+        let d = alloc(&sh, 0, Color::White); // unreachable
+
+        sh.mark_gray_clear(a);
+        sh.trace(&mut cx);
+
+        for obj in [a, b, c] {
+            assert_eq!(sh.heap.colors().get(obj.granule()), Color::Black);
+        }
+        assert_eq!(sh.heap.colors().get(d.granule()), Color::White);
+        assert_eq!(cx.counters.objects_traced, 3);
+        assert!(sh.gray.is_empty());
+    }
+
+    #[test]
+    fn trace_does_not_traverse_old_generation() {
+        let (sh, mut cx) = setup();
+        sh.colors.toggle();
+        // Black (old) object referencing a white object: trace must not
+        // traverse it unless it was explicitly grayed via a dirty card.
+        let young = alloc(&sh, 0, Color::White);
+        let old = alloc(&sh, 1, Color::Black);
+        sh.heap.arena().store_ref_slot(old, 0, young);
+        // No roots at all.
+        sh.trace(&mut cx);
+        assert_eq!(sh.heap.colors().get(young.granule()), Color::White);
+        assert_eq!(cx.counters.objects_traced, 0);
+    }
+
+    #[test]
+    fn trace_through_regrayed_black_parent() {
+        let (sh, mut cx) = setup();
+        sh.colors.toggle();
+        let young = alloc(&sh, 0, Color::White);
+        let old = alloc(&sh, 1, Color::Black);
+        sh.heap.arena().store_ref_slot(old, 0, young);
+        assert!(sh.mark_gray_from_black(old)); // as ClearCards would
+        sh.trace(&mut cx);
+        assert_eq!(sh.heap.colors().get(old.granule()), Color::Black);
+        assert_eq!(sh.heap.colors().get(young.granule()), Color::Black);
+        assert_eq!(cx.counters.objects_traced, 2);
+    }
+
+    #[test]
+    fn trace_ignores_allocation_colored_objects() {
+        let (sh, mut cx) = setup();
+        sh.colors.toggle(); // allocation = Yellow
+        let infant = alloc(&sh, 0, Color::Yellow);
+        let root = alloc(&sh, 1, Color::White);
+        sh.heap.arena().store_ref_slot(root, 0, infant);
+        sh.mark_gray_clear(root);
+        sh.trace(&mut cx);
+        // The yellow infant is not traced (not promoted, §4).
+        assert_eq!(sh.heap.colors().get(infant.granule()), Color::Yellow);
+        assert_eq!(sh.heap.colors().get(root.granule()), Color::Black);
+    }
+
+    #[test]
+    fn trace_waits_for_in_flight_barrier() {
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+        let (sh, mut cx) = setup();
+        let sh = Arc::new(sh);
+        sh.colors.toggle();
+        let hidden = alloc(&sh, 0, Color::White);
+        let m = sh.register_mutator();
+
+        // Simulate a mutator stuck inside the write barrier: epoch odd,
+        // color already CASed to gray, push not yet performed.
+        m.epoch_enter();
+        assert!(sh.heap.colors().cas(hidden.granule(), Color::White, Color::Gray));
+
+        let sh2 = Arc::clone(&sh);
+        let m2 = Arc::clone(&m);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            sh2.gray.push(hidden);
+            m2.epoch.fetch_add(1, Ordering::SeqCst); // epoch_exit
+        });
+
+        // Trace must not terminate before the delayed push arrives.
+        sh.trace(&mut cx);
+        pusher.join().unwrap();
+        assert_eq!(sh.heap.colors().get(hidden.granule()), Color::Black);
+    }
+
+    #[test]
+    fn non_generational_trace_uses_allocation_color() {
+        let sh = GcShared::new(
+            GcConfig::non_generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+        );
+        let mut cx = CycleCx::new(&sh);
+        sh.colors.toggle(); // allocation Yellow, clear White
+        let a = alloc(&sh, 0, Color::White);
+        sh.mark_gray_clear(a);
+        sh.trace(&mut cx);
+        // Marked with the allocation color, not literal black.
+        assert_eq!(sh.heap.colors().get(a.granule()), Color::Yellow);
+    }
+}

@@ -1,0 +1,107 @@
+//! The age table for the aging mechanism (§6).
+//!
+//! The paper keeps one byte of age per object *in a separate table* rather
+//! than in headers: "sweep goes through the ages of all objects to increase
+//! them; thus, for reasons of locality, it is better to go through a
+//! separate table than to touch all the objects in the heap."  We index the
+//! table by start granule, like the color table.
+//!
+//! An object is allocated with age 1 (§8.5.2: "an object is allocated with
+//! age 1, and its age gets increased for each collection it survives") and
+//! sweep stops incrementing once the age reaches the tenuring threshold.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Age assigned to an object at allocation.
+pub const INFANT_AGE: u8 = 1;
+
+/// One age byte per granule; only start granules are meaningful.
+#[derive(Debug)]
+pub struct AgeTable {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl AgeTable {
+    /// Creates a table covering `granules` granules, all age 0 (free).
+    pub fn new(granules: usize) -> AgeTable {
+        let mut v = Vec::with_capacity(granules);
+        v.resize_with(granules, || AtomicU8::new(0));
+        AgeTable { bytes: v.into_boxed_slice() }
+    }
+
+    /// Number of granules covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the table covers zero granules.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Size of the table itself in bytes (for page-touch accounting).
+    #[inline]
+    pub fn table_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The age of the object starting at `granule`.
+    #[inline]
+    pub fn get(&self, granule: usize) -> u8 {
+        self.bytes[granule].load(Ordering::Relaxed)
+    }
+
+    /// Sets the age of the object starting at `granule`.  Only the
+    /// allocating mutator (at creation) and the sweeping collector write
+    /// ages, and never concurrently for the same live object, so no
+    /// compare-and-swap is needed — the paper makes the same observation
+    /// when arguing the age byte must not share a synchronized word with
+    /// the card mark (§6).
+    #[inline]
+    pub fn set(&self, granule: usize, age: u8) {
+        self.bytes[granule].store(age, Ordering::Relaxed);
+    }
+
+    /// Increments the age at `granule`, saturating at `cap` (the tenuring
+    /// threshold).  Returns the new age.
+    #[inline]
+    pub fn increment_capped(&self, granule: usize, cap: u8) -> u8 {
+        let cur = self.get(granule);
+        if cur < cap {
+            self.set(granule, cur + 1);
+            cur + 1
+        } else {
+            cur
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let t = AgeTable::new(4);
+        assert_eq!(t.get(2), 0);
+    }
+
+    #[test]
+    fn set_get() {
+        let t = AgeTable::new(4);
+        t.set(1, INFANT_AGE);
+        assert_eq!(t.get(1), 1);
+    }
+
+    #[test]
+    fn increment_saturates_at_cap() {
+        let t = AgeTable::new(2);
+        t.set(0, INFANT_AGE);
+        assert_eq!(t.increment_capped(0, 3), 2);
+        assert_eq!(t.increment_capped(0, 3), 3);
+        assert_eq!(t.increment_capped(0, 3), 3);
+        assert_eq!(t.get(0), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! The card table (§3.1, §8.5.3): one dedicated byte per card.
+//!
+//! The heap is partitioned into power-of-two *cards*; a mutator marks a
+//! card dirty when it stores a pointer into an object whose header lies on
+//! that card (the pseudo-code's `MarkCard(x)` takes the object `x`, so the
+//! card of the *object start* is marked, and the collector's dirty-card
+//! scan likewise enumerates objects *starting* on the card).
+//!
+//! The paper keeps "a table with a designated byte for each card holding
+//! the card mark; the byte does not have any other use" (§7) — exactly this
+//! type.  Card sizes from 16 bytes ("object marking") to 4096 bytes
+//! ("block marking") are supported, the range swept in Figure 21.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::addr::{GRANULE, GRANULE_LOG2};
+
+/// Smallest supported card size in bytes (object marking).
+pub const MIN_CARD_SIZE: usize = 16;
+/// Largest supported card size in bytes (block marking).
+pub const MAX_CARD_SIZE: usize = 4096;
+
+const CLEAN: u8 = 0;
+const DIRTY: u8 = 1;
+
+/// One atomic mark byte per card of the arena.
+#[derive(Debug)]
+pub struct CardTable {
+    bytes: Box<[AtomicU8]>,
+    shift: u32,
+}
+
+impl CardTable {
+    /// Creates a table for a heap of `heap_bytes` bytes with the given
+    /// `card_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `card_size` is not a power of two in
+    /// `[MIN_CARD_SIZE, MAX_CARD_SIZE]`.
+    pub fn new(heap_bytes: usize, card_size: usize) -> CardTable {
+        assert!(
+            card_size.is_power_of_two()
+                && (MIN_CARD_SIZE..=MAX_CARD_SIZE).contains(&card_size),
+            "card size must be a power of two in [{MIN_CARD_SIZE}, {MAX_CARD_SIZE}], got {card_size}"
+        );
+        let cards = heap_bytes.div_ceil(card_size);
+        let mut v = Vec::with_capacity(cards);
+        v.resize_with(cards, || AtomicU8::new(CLEAN));
+        CardTable { bytes: v.into_boxed_slice(), shift: card_size.trailing_zeros() }
+    }
+
+    /// The card size in bytes.
+    #[inline]
+    pub fn card_size(&self) -> usize {
+        1 << self.shift
+    }
+
+    /// Number of cards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the table has zero cards.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Size of the table itself in bytes (for page-touch accounting).
+    #[inline]
+    pub fn table_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The card index covering byte offset `byte`.
+    #[inline]
+    pub fn card_of_byte(&self, byte: usize) -> usize {
+        byte >> self.shift
+    }
+
+    /// Marks dirty the card containing byte offset `byte` (the mutator's
+    /// `MarkCard`).  A relaxed store suffices: the §7.2 clear/check/re-mark
+    /// protocol tolerates any interleaving as long as the mutator's data
+    /// store precedes its card mark in program order, which the write
+    /// barrier guarantees.
+    #[inline]
+    pub fn mark_byte(&self, byte: usize) {
+        self.bytes[byte >> self.shift].store(DIRTY, Ordering::Release);
+    }
+
+    /// Whether card `card` is dirty.
+    #[inline]
+    pub fn is_dirty(&self, card: usize) -> bool {
+        self.bytes[card].load(Ordering::Acquire) == DIRTY
+    }
+
+    /// Clears card `card` (collector only).
+    #[inline]
+    pub fn clear(&self, card: usize) {
+        self.bytes[card].store(CLEAN, Ordering::Release);
+    }
+
+    /// Re-marks card `card` dirty (step 3 of the §7.2 protocol).
+    #[inline]
+    pub fn mark_card(&self, card: usize) {
+        self.bytes[card].store(DIRTY, Ordering::Release);
+    }
+
+    /// Clears every card (used by `InitFullCollection` in the simple
+    /// variant, Figure 3).
+    pub fn clear_all(&self) {
+        for b in self.bytes.iter() {
+            b.store(CLEAN, Ordering::Release);
+        }
+    }
+
+    /// The granule range `[start, end)` covered by card `card`.
+    #[inline]
+    pub fn granule_range(&self, card: usize) -> (usize, usize) {
+        let granules_per_card = (1usize << self.shift) / GRANULE;
+        let start = card << (self.shift - GRANULE_LOG2);
+        (start, start + granules_per_card)
+    }
+
+    /// Calls `f(card)` for every dirty card index in `[0, cards)`, using
+    /// cheap relaxed scanning (the collector re-reads with acquire before
+    /// acting).
+    #[inline]
+    pub fn for_each_dirty<F: FnMut(usize)>(&self, cards: usize, mut f: F) {
+        for (i, b) in self.bytes[..cards.min(self.bytes.len())].iter().enumerate() {
+            if b.load(Ordering::Relaxed) == DIRTY {
+                f(i);
+            }
+        }
+    }
+
+    /// Number of dirty cards among the first `cards` cards.
+    pub fn count_dirty(&self, cards: usize) -> usize {
+        self.bytes[..cards.min(self.bytes.len())]
+            .iter()
+            .filter(|b| b.load(Ordering::Relaxed) == DIRTY)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let t = CardTable::new(1 << 20, 512);
+        assert_eq!(t.card_size(), 512);
+        assert_eq!(t.len(), 2048);
+        assert_eq!(t.card_of_byte(0), 0);
+        assert_eq!(t.card_of_byte(511), 0);
+        assert_eq!(t.card_of_byte(512), 1);
+    }
+
+    #[test]
+    fn mark_clear_cycle() {
+        let t = CardTable::new(4096, 16);
+        assert!(!t.is_dirty(3));
+        t.mark_byte(3 * 16 + 5);
+        assert!(t.is_dirty(3));
+        t.clear(3);
+        assert!(!t.is_dirty(3));
+        t.mark_card(3);
+        assert!(t.is_dirty(3));
+    }
+
+    #[test]
+    fn granule_range_for_object_marking() {
+        // 16-byte cards: one granule per card.
+        let t = CardTable::new(1024, 16);
+        assert_eq!(t.granule_range(5), (5, 6));
+    }
+
+    #[test]
+    fn granule_range_for_block_marking() {
+        // 4096-byte cards: 256 granules per card.
+        let t = CardTable::new(1 << 16, 4096);
+        assert_eq!(t.granule_range(2), (512, 768));
+    }
+
+    #[test]
+    fn clear_all_and_count() {
+        let t = CardTable::new(4096, 256);
+        t.mark_byte(0);
+        t.mark_byte(300);
+        t.mark_byte(4000);
+        assert_eq!(t.count_dirty(t.len()), 3);
+        t.clear_all();
+        assert_eq!(t.count_dirty(t.len()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "card size")]
+    fn rejects_non_power_of_two() {
+        let _ = CardTable::new(4096, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "card size")]
+    fn rejects_too_large() {
+        let _ = CardTable::new(1 << 20, 8192);
+    }
+}

@@ -1,0 +1,306 @@
+//! The coalescing free-space pool of the non-moving heap.
+//!
+//! Free space is tracked as `(start granule, length)` chunks in two
+//! ordered indexes under one lock: by start address (for **coalescing** —
+//! a freed chunk merges with adjacent free neighbors immediately, exactly
+//! like the JVM heap manager the paper's collector lived in) and by size
+//! (for **best-fit** allocation).  Chunk records live *outside* the heap
+//! memory, so free space needs no parseable headers and the concurrent
+//! sweep never reads metadata out of free memory.
+//!
+//! Allocation policy: a request of (`min`, `preferred`) granules takes the
+//! smallest chunk of at least `preferred` and splits it; if none exists it
+//! takes the *largest* chunk of at least `min` — so LAB refills
+//! (`preferred ≫ min`) get big contiguous runs when available and degrade
+//! gracefully on a tight heap, while exact requests (`min == preferred`)
+//! get best-fit with minimal splitting.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// A free chunk: `len` contiguous free granules starting at granule
+/// `start`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Chunk {
+    /// First granule of the chunk.
+    pub start: u32,
+    /// Length in granules (never zero).
+    pub len: u32,
+}
+
+impl Chunk {
+    /// Creates a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `len` is zero.
+    #[inline]
+    pub fn new(start: u32, len: u32) -> Chunk {
+        debug_assert!(len > 0, "empty chunk");
+        Chunk { start, len }
+    }
+
+    /// One-past-the-end granule.
+    #[inline]
+    pub fn end(&self) -> u32 {
+        self.start + self.len
+    }
+}
+
+#[derive(Debug, Default)]
+struct Pool {
+    /// start granule -> length.
+    by_start: BTreeMap<u32, u32>,
+    /// (length, start) -> (); ordered for best-fit queries.
+    by_size: BTreeMap<(u32, u32), ()>,
+    free_granules: u64,
+}
+
+impl Pool {
+    fn remove(&mut self, start: u32, len: u32) {
+        let removed = self.by_start.remove(&start);
+        debug_assert_eq!(removed, Some(len));
+        let removed = self.by_size.remove(&(len, start));
+        debug_assert!(removed.is_some());
+        self.free_granules -= len as u64;
+    }
+
+    fn add(&mut self, start: u32, len: u32) {
+        debug_assert!(len > 0);
+        self.by_start.insert(start, len);
+        self.by_size.insert((len, start), ());
+        self.free_granules += len as u64;
+    }
+
+    /// Inserts with immediate coalescing against both neighbors.
+    fn insert_coalescing(&mut self, chunk: Chunk) {
+        let mut start = chunk.start;
+        let mut len = chunk.len;
+        // Predecessor: the last chunk starting before us.
+        if let Some((&p_start, &p_len)) = self.by_start.range(..start).next_back() {
+            debug_assert!(p_start + p_len <= start, "overlapping free chunks");
+            if p_start + p_len == start {
+                self.remove(p_start, p_len);
+                start = p_start;
+                len += p_len;
+            }
+        }
+        // Successor: the first chunk starting at or after our end.
+        if let Some((&s_start, &s_len)) = self.by_start.range(start + len..).next() {
+            debug_assert!(s_start >= start + len, "overlapping free chunks");
+            if s_start == start + len {
+                self.remove(s_start, s_len);
+                len += s_len;
+            }
+        }
+        self.add(start, len);
+    }
+}
+
+/// Thread-safe coalescing free lists.
+#[derive(Debug)]
+pub struct FreeLists {
+    inner: Mutex<Pool>,
+}
+
+impl Default for FreeLists {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreeLists {
+    /// Creates an empty pool.
+    pub fn new() -> FreeLists {
+        FreeLists { inner: Mutex::new(Pool::default()) }
+    }
+
+    /// Inserts a free chunk, merging it with adjacent free space.
+    pub fn insert(&self, chunk: Chunk) {
+        self.inner.lock().insert_coalescing(chunk);
+    }
+
+    /// Inserts many chunks under a single lock acquisition (the sweep's
+    /// batching path).
+    pub fn insert_batch(&self, chunks: &[Chunk]) {
+        if chunks.is_empty() {
+            return;
+        }
+        let mut p = self.inner.lock();
+        for &chunk in chunks {
+            p.insert_coalescing(chunk);
+        }
+    }
+
+    /// Allocates at least `min` granules, preferring a chunk of up to
+    /// `preferred`.  Takes the smallest chunk ≥ `preferred` (split to
+    /// `preferred`), falling back to the largest chunk ≥ `min`.  Returns
+    /// `None` when no chunk of at least `min` granules exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `preferred < min`.
+    pub fn alloc(&self, min: u32, preferred: u32) -> Option<Chunk> {
+        assert!(min > 0 && preferred >= min, "bad alloc request {min}/{preferred}");
+        let mut p = self.inner.lock();
+        // Best fit at the preferred size…
+        if let Some((&(len, start), ())) = p.by_size.range((preferred, 0)..).next() {
+            p.remove(start, len);
+            if len > preferred {
+                p.add(start + preferred, len - preferred);
+                return Some(Chunk::new(start, preferred));
+            }
+            return Some(Chunk::new(start, len));
+        }
+        // …else the largest chunk that still satisfies `min`.
+        if let Some((&(len, start), ())) = p.by_size.range((min, 0)..).next_back() {
+            p.remove(start, len);
+            return Some(Chunk::new(start, len));
+        }
+        None
+    }
+
+    /// Total free granules in the pool.
+    pub fn free_granules(&self) -> u64 {
+        self.inner.lock().free_granules
+    }
+
+    /// The largest available chunk length (diagnostics / fragmentation
+    /// measurements).
+    pub fn largest_chunk(&self) -> u32 {
+        self.inner.lock().by_size.keys().next_back().map(|&(len, _)| len).unwrap_or(0)
+    }
+
+    /// Number of distinct chunks (diagnostics).
+    pub fn chunk_count(&self) -> usize {
+        self.inner.lock().by_start.len()
+    }
+
+    /// A copy of every chunk currently in the pool (diagnostics).
+    pub fn snapshot(&self) -> Vec<Chunk> {
+        self.inner.lock().by_start.iter().map(|(&s, &l)| Chunk::new(s, l)).collect()
+    }
+
+    /// Removes and returns every chunk (test/diagnostic helper).
+    pub fn drain_all(&self) -> Vec<Chunk> {
+        let mut p = self.inner.lock();
+        let out: Vec<Chunk> =
+            p.by_start.iter().map(|(&s, &l)| Chunk::new(s, l)).collect();
+        p.by_start.clear();
+        p.by_size.clear();
+        p.free_granules = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_alloc() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(10, 4));
+        assert_eq!(f.free_granules(), 4);
+        let c = f.alloc(4, 4).unwrap();
+        assert_eq!(c, Chunk::new(10, 4));
+        assert_eq!(f.free_granules(), 0);
+        assert!(f.alloc(1, 1).is_none());
+    }
+
+    #[test]
+    fn split_returns_remainder() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 100));
+        let c = f.alloc(8, 8).unwrap();
+        assert_eq!(c.len, 8);
+        assert_eq!(f.free_granules(), 92);
+        let rest = f.alloc(92, 92).unwrap();
+        assert_eq!(rest, Chunk::new(8, 92));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 50));
+        f.insert(Chunk::new(100, 10));
+        let c = f.alloc(10, 10).unwrap();
+        assert_eq!(c, Chunk::new(100, 10), "should pick the exact fit, not split the big one");
+    }
+
+    #[test]
+    fn lab_refill_prefers_large() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 3));
+        f.insert(Chunk::new(100, 200));
+        // min 2, preferred 64: must NOT hand out the 3-granule fragment.
+        let c = f.alloc(2, 64).unwrap();
+        assert_eq!(c, Chunk::new(100, 64));
+    }
+
+    #[test]
+    fn falls_back_to_largest_below_preferred() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 3));
+        f.insert(Chunk::new(100, 30));
+        let c = f.alloc(2, 64).unwrap();
+        assert_eq!(c, Chunk::new(100, 30), "largest ≥ min when nothing ≥ preferred");
+    }
+
+    #[test]
+    fn coalesces_with_predecessor_and_successor() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 10));
+        f.insert(Chunk::new(20, 10));
+        assert_eq!(f.chunk_count(), 2);
+        // The middle piece glues everything into one run.
+        f.insert(Chunk::new(10, 10));
+        assert_eq!(f.chunk_count(), 1);
+        assert_eq!(f.largest_chunk(), 30);
+        let c = f.alloc(30, 30).unwrap();
+        assert_eq!(c, Chunk::new(0, 30));
+    }
+
+    #[test]
+    fn no_coalescing_across_gaps() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 5));
+        f.insert(Chunk::new(6, 5)); // gap at granule 5
+        assert_eq!(f.chunk_count(), 2);
+        assert_eq!(f.largest_chunk(), 5);
+    }
+
+    #[test]
+    fn fragmentation_heals() {
+        // Allocate many small pieces out of one run, free them all in a
+        // scrambled order: the pool must return to a single chunk.
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 1024));
+        let mut held = Vec::new();
+        while let Some(c) = f.alloc(7, 7) {
+            held.push(c);
+        }
+        // Consume any remainder too.
+        while let Some(c) = f.alloc(1, 7) {
+            held.push(c);
+        }
+        assert_eq!(f.free_granules(), 0);
+        held.reverse();
+        let mid = held.len() / 2;
+        held.swap(0, mid);
+        f.insert_batch(&held);
+        assert_eq!(f.chunk_count(), 1);
+        assert_eq!(f.largest_chunk(), 1024);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let f = FreeLists::new();
+        f.insert(Chunk::new(0, 5));
+        f.insert(Chunk::new(10, 50));
+        let all = f.drain_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(f.free_granules(), 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! `HeapSpace`: the assembled heap substrate.
+//!
+//! Ties together the arena, the color and age side tables, the segregated
+//! free lists and the bump frontier, and provides the two operations the
+//! collector and mutators build on:
+//!
+//! * **chunk allocation** — free-list first-fit with splitting, falling
+//!   back to bumping the frontier inside the committed region (mutators
+//!   lease LAB-sized chunks and bump-allocate privately inside them);
+//! * **object installation** — writing a new object into owned memory and
+//!   *publishing* it with a release store of its start-granule color, the
+//!   ordering that makes the concurrent color-table heap walk safe.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::addr::{ObjectRef, GRANULE};
+use crate::age::{AgeTable, INFANT_AGE};
+use crate::arena::Arena;
+use crate::color::{Color, ColorTable};
+use crate::freelist::{Chunk, FreeLists};
+use crate::layout::{Header, ObjShape};
+
+/// Default LAB (local allocation buffer) size in granules (32 KB).
+pub const DEFAULT_LAB_GRANULES: u32 = 2048;
+
+/// One step of a linear heap parse (see [`HeapSpace::parse_at`]).
+#[derive(Copy, Clone, Debug)]
+pub enum ParseStep {
+    /// A free granule; advance by one.
+    Free,
+    /// An interior granule (only seen when racing an in-flight allocation
+    /// or when entering a region mid-object); advance by one.
+    Interior,
+    /// An object starts here; advance by `header.size_granules()`.
+    Object {
+        /// The object's reference.
+        obj: ObjectRef,
+        /// The color observed (acquire) at the start granule.
+        color: Color,
+        /// The object's decoded header.
+        header: Header,
+    },
+}
+
+/// The heap substrate shared by mutators and the collector.
+#[derive(Debug)]
+pub struct HeapSpace {
+    arena: Arena,
+    colors: ColorTable,
+    ages: AgeTable,
+    freelists: FreeLists,
+    /// Next never-allocated granule (bump frontier).
+    frontier: AtomicUsize,
+    /// Granules currently held by objects or leased LABs.
+    used_granules: AtomicUsize,
+    objects_allocated: AtomicU64,
+    bytes_allocated: AtomicU64,
+}
+
+impl HeapSpace {
+    /// Creates a heap with `max_bytes` reserved and `initial_bytes`
+    /// committed.  Granule 0 is reserved so that offset 0 can be the null
+    /// reference.
+    pub fn new(max_bytes: usize, initial_bytes: usize) -> HeapSpace {
+        let arena = Arena::new(max_bytes, initial_bytes);
+        let granules = arena.max_granules();
+        HeapSpace {
+            colors: ColorTable::new(granules),
+            ages: AgeTable::new(granules),
+            arena,
+            freelists: FreeLists::new(),
+            frontier: AtomicUsize::new(1), // granule 0 reserved for null
+            used_granules: AtomicUsize::new(1),
+            objects_allocated: AtomicU64::new(0),
+            bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying arena.
+    #[inline]
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// The color table.
+    #[inline]
+    pub fn colors(&self) -> &ColorTable {
+        &self.colors
+    }
+
+    /// The age table.
+    #[inline]
+    pub fn ages(&self) -> &AgeTable {
+        &self.ages
+    }
+
+    /// Granules in use (objects + leased LABs), in granules.
+    #[inline]
+    pub fn used_granules(&self) -> usize {
+        self.used_granules.load(Ordering::Relaxed)
+    }
+
+    /// Bytes in use.
+    #[inline]
+    pub fn used_bytes(&self) -> usize {
+        self.used_granules() * GRANULE
+    }
+
+    /// Committed heap size in bytes (soft limit).
+    #[inline]
+    pub fn committed_bytes(&self) -> usize {
+        self.arena.committed_bytes()
+    }
+
+    /// Maximum heap size in bytes.
+    #[inline]
+    pub fn max_bytes(&self) -> usize {
+        self.arena.max_bytes()
+    }
+
+    /// Grows the committed region; returns the new committed byte size or
+    /// `None` when already at maximum.
+    pub fn grow(&self) -> Option<usize> {
+        self.arena.grow()
+    }
+
+    /// Grows the committed region to exactly `min(target, max)` bytes.
+    pub fn grow_to(&self, target: usize) -> usize {
+        self.arena.grow_to(target)
+    }
+
+    /// Resizes the committed region to `target` bytes (growing *or*
+    /// shrinking), clamped so it never drops below the bump-frontier
+    /// high-watermark (memory behind the frontier may be live).
+    pub fn commit_to(&self, target: usize) -> usize {
+        let floor = self.frontier_granule() * GRANULE;
+        self.arena.commit_to(target, floor)
+    }
+
+    /// The first granule the bump frontier has not yet passed.  A linear
+    /// heap parse needs to cover `[1, frontier_granule())`.
+    #[inline]
+    pub fn frontier_granule(&self) -> usize {
+        self.frontier.load(Ordering::Acquire)
+    }
+
+    /// Total objects ever allocated.
+    #[inline]
+    pub fn objects_allocated(&self) -> u64 {
+        self.objects_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes ever allocated (granule-rounded).
+    #[inline]
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bytes_allocated.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a chunk of at least `min` granules (preferring up to
+    /// `preferred`), from the free lists or the frontier.  Returns `None`
+    /// when the committed region is exhausted — the caller then grows the
+    /// heap or triggers a collection.
+    pub fn alloc_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
+        if let Some(c) = self.freelists.alloc(min, preferred) {
+            self.used_granules.fetch_add(c.len as usize, Ordering::Relaxed);
+            return Some(c);
+        }
+        // Bump the frontier inside the committed region.
+        loop {
+            let cur = self.frontier.load(Ordering::Acquire);
+            let committed = self.arena.committed_granules();
+            if cur + min as usize > committed {
+                return None;
+            }
+            let take = (preferred as usize).min(committed - cur).max(min as usize) as u32;
+            if self
+                .frontier
+                .compare_exchange(cur, cur + take as usize, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.used_granules.fetch_add(take as usize, Ordering::Relaxed);
+                return Some(Chunk::new(cur as u32, take));
+            }
+        }
+    }
+
+    /// Returns a chunk to the free lists (sweep-reclaimed runs and retired
+    /// LAB tails).  The chunk's granules must already be `Free` in the
+    /// color table.
+    pub fn free_chunk(&self, chunk: Chunk) {
+        debug_assert!(chunk.len > 0);
+        self.used_granules.fetch_sub(chunk.len as usize, Ordering::Relaxed);
+        self.freelists.insert(chunk);
+    }
+
+    /// Returns many chunks to the free lists under one lock acquisition.
+    pub fn free_chunk_batch(&self, chunks: &[Chunk]) {
+        let total: usize = chunks.iter().map(|c| c.len as usize).sum();
+        self.used_granules.fetch_sub(total, Ordering::Relaxed);
+        self.freelists.insert_batch(chunks);
+    }
+
+    /// Free granules currently on the free lists.
+    pub fn free_list_granules(&self) -> u64 {
+        self.freelists.free_granules()
+    }
+
+    /// A copy of every free chunk (diagnostics / heap verification).
+    pub fn free_list_snapshot(&self) -> Vec<Chunk> {
+        self.freelists.snapshot()
+    }
+
+    /// Writes a new object of `shape` at `start` (granule index) inside
+    /// memory the caller owns (a LAB carve or a direct chunk), publishing
+    /// it with `color` and age [`INFANT_AGE`].
+    ///
+    /// Publication order is the heart of the concurrent heap-parse
+    /// protocol: all words are zeroed and the header written first, then
+    /// interior color bytes, and the start-granule color *last* with
+    /// release ordering.  A concurrent scanner either sees the final color
+    /// (and can safely read the header) or a `Free`/`Interior` byte (and
+    /// skips one granule).
+    pub fn install_object(&self, start: usize, shape: &ObjShape, color: Color) -> ObjectRef {
+        let size = shape.size_granules();
+        let obj = ObjectRef::from_granule(start);
+        // Zero every word so stale reference slots from a previous object
+        // can never be traced.
+        let first_word = obj.word();
+        let n_words = size * crate::addr::WORDS_PER_GRANULE;
+        for w in first_word..first_word + n_words {
+            self.arena.store_word(w, 0, Ordering::Relaxed);
+        }
+        self.arena.write_header(obj, shape.encode_header());
+        if size > 1 {
+            self.colors.fill(start + 1, size - 1, Color::Interior);
+        }
+        self.ages.set(start, INFANT_AGE);
+        self.colors.set(start, color); // release: publishes the object
+        self.objects_allocated.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated.fetch_add((size * GRANULE) as u64, Ordering::Relaxed);
+        obj
+    }
+
+    /// Reads one parse step at granule `g`.  Drive a linear walk with:
+    ///
+    /// ```
+    /// # use otf_heap::{HeapSpace, ParseStep};
+    /// # let heap = HeapSpace::new(1 << 16, 1 << 16);
+    /// let mut g = 1;
+    /// while g < heap.frontier_granule() {
+    ///     g += match heap.parse_at(g) {
+    ///         ParseStep::Object { header, .. } => header.size_granules(),
+    ///         _ => 1,
+    ///     };
+    /// }
+    /// ```
+    #[inline]
+    pub fn parse_at(&self, g: usize) -> ParseStep {
+        match self.colors.get(g) {
+            Color::Free => ParseStep::Free,
+            Color::Interior => ParseStep::Interior,
+            color => {
+                let obj = ObjectRef::from_granule(g);
+                ParseStep::Object { obj, color, header: self.arena.header(obj) }
+            }
+        }
+    }
+
+    /// Calls `f(obj, color, header)` for every object *starting* in the
+    /// granule range `[start, end)` — the dirty-card scan primitive.
+    pub fn for_each_object_start<F: FnMut(ObjectRef, Color, Header)>(
+        &self,
+        start: usize,
+        end: usize,
+        mut f: F,
+    ) {
+        let end = end.min(self.frontier_granule());
+        let mut g = start;
+        while g < end {
+            g += match self.parse_at(g) {
+                ParseStep::Object { obj, color, header } => {
+                    let size = header.size_granules();
+                    f(obj, color, header);
+                    size
+                }
+                _ => 1,
+            };
+        }
+    }
+}
+
+/// A mutator-private local allocation buffer: a leased chunk bump-allocated
+/// without synchronization (the paper's thread-local allocation).
+#[derive(Debug, Default)]
+pub struct Lab {
+    cur: u32,
+    end: u32,
+}
+
+impl Lab {
+    /// An empty LAB (first allocation will refill).
+    pub fn new() -> Lab {
+        Lab { cur: 0, end: 0 }
+    }
+
+    /// Remaining granules.
+    #[inline]
+    pub fn remaining(&self) -> u32 {
+        self.end - self.cur
+    }
+
+    /// Tries to carve `n` granules; returns the start granule.
+    #[inline]
+    pub fn try_carve(&mut self, n: u32) -> Option<u32> {
+        if self.cur + n <= self.end {
+            let start = self.cur;
+            self.cur += n;
+            Some(start)
+        } else {
+            None
+        }
+    }
+
+    /// Replaces the LAB with `chunk`, returning the old remainder (to be
+    /// given back to the free lists) if any.
+    pub fn refill(&mut self, chunk: Chunk) -> Option<Chunk> {
+        let old = self.take_remainder();
+        self.cur = chunk.start;
+        self.end = chunk.end();
+        old
+    }
+
+    /// Takes the unallocated remainder out of the LAB, leaving it empty.
+    pub fn take_remainder(&mut self) -> Option<Chunk> {
+        let rest = if self.cur < self.end {
+            Some(Chunk::new(self.cur, self.end - self.cur))
+        } else {
+            None
+        };
+        self.cur = 0;
+        self.end = 0;
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> HeapSpace {
+        HeapSpace::new(1 << 16, 1 << 16) // 64 KB
+    }
+
+    #[test]
+    fn frontier_allocation_skips_null_granule() {
+        let h = small_heap();
+        let c = h.alloc_chunk(4, 4).unwrap();
+        assert_eq!(c.start, 1);
+        assert_eq!(c.len, 4);
+        assert_eq!(h.frontier_granule(), 5);
+    }
+
+    #[test]
+    fn freelist_preferred_over_frontier() {
+        let h = small_heap();
+        let c = h.alloc_chunk(4, 4).unwrap();
+        h.colors().fill(c.start as usize, c.len as usize, Color::Free);
+        h.free_chunk(c);
+        let c2 = h.alloc_chunk(2, 2).unwrap();
+        assert_eq!(c2.start, 1); // reused, not frontier
+    }
+
+    #[test]
+    fn used_accounting() {
+        let h = small_heap();
+        let before = h.used_granules();
+        let c = h.alloc_chunk(8, 8).unwrap();
+        assert_eq!(h.used_granules(), before + 8);
+        h.free_chunk(c);
+        assert_eq!(h.used_granules(), before);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let h = HeapSpace::new(1 << 12, 1 << 12); // 4 KB = 256 granules
+        assert!(h.alloc_chunk(255, 255).is_some());
+        assert!(h.alloc_chunk(16, 16).is_none());
+    }
+
+    #[test]
+    fn committed_limits_frontier_until_grow() {
+        let h = HeapSpace::new(1 << 13, 1 << 12);
+        assert!(h.alloc_chunk(255, 255).is_some());
+        assert!(h.alloc_chunk(16, 16).is_none());
+        assert!(h.grow().is_some());
+        assert!(h.alloc_chunk(16, 16).is_some());
+    }
+
+    #[test]
+    fn install_publishes_object() {
+        let h = small_heap();
+        let shape = ObjShape::new(2, 1).with_class(3);
+        let c = h.alloc_chunk(shape.size_granules() as u32, shape.size_granules() as u32).unwrap();
+        let obj = h.install_object(c.start as usize, &shape, Color::White);
+        assert_eq!(h.colors().get(obj.granule()), Color::White);
+        assert_eq!(h.colors().get(obj.granule() + 1), Color::Interior);
+        assert_eq!(h.ages().get(obj.granule()), INFANT_AGE);
+        let hd = h.arena().header(obj);
+        assert_eq!(hd.ref_slots(), 2);
+        assert_eq!(hd.class_id(), 3);
+        // Slots are zeroed.
+        assert!(h.arena().load_ref_slot(obj, 0).is_null());
+        assert!(h.arena().load_ref_slot(obj, 1).is_null());
+        assert_eq!(h.objects_allocated(), 1);
+        assert_eq!(h.bytes_allocated(), shape.size_bytes() as u64);
+    }
+
+    #[test]
+    fn install_zeroes_stale_slots() {
+        let h = small_heap();
+        let shape = ObjShape::new(2, 0);
+        let n = shape.size_granules() as u32;
+        let c = h.alloc_chunk(n, n).unwrap();
+        let obj = h.install_object(c.start as usize, &shape, Color::White);
+        h.arena().store_ref_slot(obj, 0, ObjectRef::from_granule(7));
+        // Simulate free + reallocation at the same spot.
+        h.colors().fill(obj.granule(), n as usize, Color::Free);
+        let obj2 = h.install_object(obj.granule(), &shape, Color::Yellow);
+        assert!(h.arena().load_ref_slot(obj2, 0).is_null());
+    }
+
+    #[test]
+    fn parse_walk_sees_all_objects() {
+        let h = small_heap();
+        let mut allocated = Vec::new();
+        for i in 0..10 {
+            let shape = ObjShape::new(i % 3, i);
+            let n = shape.size_granules() as u32;
+            let c = h.alloc_chunk(n, n).unwrap();
+            allocated.push(h.install_object(c.start as usize, &shape, Color::White));
+        }
+        let mut seen = Vec::new();
+        h.for_each_object_start(1, h.frontier_granule(), |obj, color, _| {
+            assert_eq!(color, Color::White);
+            seen.push(obj);
+        });
+        assert_eq!(seen, allocated);
+    }
+
+    #[test]
+    fn for_each_object_start_respects_range() {
+        let h = small_heap();
+        let shape = ObjShape::new(1, 2); // 2 granules
+        let mut objs = Vec::new();
+        for _ in 0..4 {
+            let c = h.alloc_chunk(2, 2).unwrap();
+            objs.push(h.install_object(c.start as usize, &shape, Color::White));
+        }
+        // Objects start at granules 1,3,5,7. Range [3,5) should see only
+        // the one at granule 3.
+        let mut seen = Vec::new();
+        h.for_each_object_start(3, 5, |o, _, _| seen.push(o));
+        assert_eq!(seen, vec![objs[1]]);
+    }
+
+    #[test]
+    fn lab_carving() {
+        let mut lab = Lab::new();
+        assert!(lab.try_carve(1).is_none());
+        assert!(lab.refill(Chunk::new(10, 8)).is_none());
+        assert_eq!(lab.try_carve(3), Some(10));
+        assert_eq!(lab.try_carve(5), Some(13));
+        assert!(lab.try_carve(1).is_none());
+        assert!(lab.take_remainder().is_none());
+    }
+
+    #[test]
+    fn lab_refill_returns_remainder() {
+        let mut lab = Lab::new();
+        lab.refill(Chunk::new(0, 10));
+        lab.try_carve(4);
+        let old = lab.refill(Chunk::new(100, 20)).unwrap();
+        assert_eq!(old, Chunk::new(4, 6));
+        assert_eq!(lab.try_carve(20), Some(100));
+    }
+}

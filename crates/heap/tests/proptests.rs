@@ -1,0 +1,121 @@
+//! Property-based tests for the heap substrate's core invariants.
+
+use proptest::prelude::*;
+
+use otf_heap::{
+    CardTable, Chunk, Color, FreeLists, HeapSpace, Header, ObjShape, GRANULE,
+};
+
+proptest! {
+    /// Header encode/decode is a bijection over the valid field ranges.
+    #[test]
+    fn header_round_trip(refs in 0usize..5000, data in 0usize..5000, class in 0u32..1_000_000) {
+        let shape = ObjShape::new(refs, data).with_class(class);
+        let h = Header::decode(shape.encode_header());
+        prop_assert_eq!(h.ref_slots(), refs);
+        prop_assert_eq!(h.class_id(), class);
+        prop_assert_eq!(h.size_granules(), shape.size_granules());
+        prop_assert_eq!(h.size_granules(), (1 + refs + data).div_ceil(2));
+    }
+
+    /// Shape sizes are monotone and granule-rounded.
+    #[test]
+    fn shape_size_invariants(refs in 0usize..1000, data in 0usize..1000) {
+        let s = ObjShape::new(refs, data);
+        prop_assert!(s.size_granules() >= 1);
+        prop_assert_eq!(s.size_bytes() % GRANULE, 0);
+        prop_assert!(s.size_bytes() >= (1 + refs + data) * 8);
+        prop_assert!(s.size_bytes() < (1 + refs + data) * 8 + GRANULE);
+    }
+
+    /// Free lists conserve granules and never hand out overlapping chunks.
+    #[test]
+    fn freelist_no_overlap_and_conservation(
+        ops in prop::collection::vec((1u32..200, 1u32..400), 1..120)
+    ) {
+        let f = FreeLists::new();
+        // Seed with one large region [0, 100_000).
+        let total = 100_000u64;
+        f.insert(Chunk::new(0, total as u32));
+        let mut held: Vec<Chunk> = Vec::new();
+        let mut held_granules = 0u64;
+
+        for (i, (min, pref)) in ops.into_iter().enumerate() {
+            let (min, pref) = (min, min.max(pref));
+            if i % 3 == 2 && !held.is_empty() {
+                // Give one back.
+                let c = held.swap_remove(i % held.len());
+                held_granules -= c.len as u64;
+                f.insert(c);
+            } else if let Some(c) = f.alloc(min, pref) {
+                prop_assert!(c.len >= min && c.len <= pref);
+                // No overlap with anything we already hold.
+                for h in &held {
+                    prop_assert!(c.end() <= h.start || h.end() <= c.start,
+                        "overlap: {c:?} vs {h:?}");
+                }
+                held_granules += c.len as u64;
+                held.push(c);
+            }
+            prop_assert_eq!(f.free_granules() + held_granules, total);
+        }
+    }
+
+    /// Card geometry: every byte maps into exactly one card whose granule
+    /// range covers it.
+    #[test]
+    fn card_geometry(shift in 4u32..13, byte in 0usize..(1 << 20)) {
+        let card_size = 1usize << shift;
+        let t = CardTable::new(1 << 20, card_size);
+        let card = t.card_of_byte(byte);
+        let (gs, ge) = t.granule_range(card);
+        let granule = byte / GRANULE;
+        prop_assert!(gs <= granule && granule < ge);
+        prop_assert_eq!(ge - gs, card_size / GRANULE);
+        // Marking the byte dirties exactly that card.
+        t.mark_byte(byte);
+        prop_assert!(t.is_dirty(card));
+        prop_assert_eq!(t.count_dirty(t.len()), 1);
+    }
+
+    /// The color table is a faithful parse map: installing random objects
+    /// back-to-back and walking the heap sees exactly those objects, in
+    /// address order, with correct headers.
+    #[test]
+    fn heap_parse_integrity(shapes in prop::collection::vec((0usize..6, 0usize..10), 1..60)) {
+        let heap = HeapSpace::new(1 << 20, 1 << 20);
+        let mut installed = Vec::new();
+        for (refs, data) in shapes {
+            let shape = ObjShape::new(refs, data).with_class((refs * 16 + data) as u32);
+            let n = shape.size_granules() as u32;
+            let chunk = heap.alloc_chunk(n, n).unwrap();
+            let obj = heap.install_object(chunk.start as usize, &shape, Color::White);
+            installed.push((obj, shape));
+        }
+        let mut seen = Vec::new();
+        heap.for_each_object_start(1, heap.frontier_granule(), |obj, color, header| {
+            seen.push((obj, color, header.ref_slots(), header.class_id()));
+        });
+        prop_assert_eq!(seen.len(), installed.len());
+        for ((obj, shape), (sobj, scolor, srefs, sclass)) in installed.iter().zip(&seen) {
+            prop_assert_eq!(obj, sobj);
+            prop_assert_eq!(*scolor, Color::White);
+            prop_assert_eq!(shape.ref_slots(), *srefs);
+            prop_assert_eq!(shape.class_id(), *sclass);
+        }
+    }
+
+    /// `object_end` (interior scanning) always agrees with the header.
+    #[test]
+    fn object_end_matches_header(shapes in prop::collection::vec((0usize..4, 0usize..12), 1..40)) {
+        let heap = HeapSpace::new(1 << 20, 1 << 20);
+        for (refs, data) in shapes {
+            let shape = ObjShape::new(refs, data);
+            let n = shape.size_granules() as u32;
+            let chunk = heap.alloc_chunk(n, n).unwrap();
+            let obj = heap.install_object(chunk.start as usize, &shape, Color::Yellow);
+            let end = heap.colors().object_end(obj.granule(), heap.frontier_granule());
+            prop_assert_eq!(end - obj.granule(), shape.size_granules());
+        }
+    }
+}

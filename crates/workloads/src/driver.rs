@@ -1,0 +1,108 @@
+//! The measurement driver: runs workloads against collector
+//! configurations and reports the quantities the paper's figures need.
+//!
+//! Methodology (paper §8.1): on a saturated machine, elapsed time measures
+//! the total CPU the application *plus* the collector consume — the paper
+//! runs four simultaneous copies of each application on its 4-way machine
+//! for exactly this reason.  [`run_copies`] reproduces that setup (N
+//! independent heap+collector instances running concurrently);
+//! [`run_workload`] is the single-copy "uniprocessor" measurement.
+
+use std::time::{Duration, Instant};
+
+use otf_gc::{Gc, GcConfig, GcStats};
+
+use crate::Workload;
+
+/// The result of one measured workload run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Wall-clock time of the application run (threads spawned → joined).
+    pub elapsed: Duration,
+    /// Collector statistics snapshot taken right after the run.
+    pub stats: GcStats,
+}
+
+impl RunResult {
+    /// Percentage of the run during which a collection was active
+    /// (Figure 10).
+    pub fn percent_gc_active(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            100.0 * self.stats.gc_active.as_secs_f64() / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// Runs one copy of `workload` under `config` and returns the measured
+/// result.  Spawns `workload.threads()` mutator threads.
+pub fn run_workload(workload: &dyn Workload, config: GcConfig, seed: u64) -> RunResult {
+    let gc = Gc::new(config);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..workload.threads() {
+            let mut m = gc.mutator();
+            let w = &workload;
+            s.spawn(move || w.run(t, seed, &mut m));
+        }
+    });
+    let elapsed = start.elapsed();
+    let stats = gc.stats();
+    gc.shutdown();
+    RunResult { elapsed, stats }
+}
+
+/// Runs `copies` independent copies of `workload` concurrently (each with
+/// its own heap and collector thread, like the paper's four simultaneous
+/// application processes) and returns the wall time of the whole batch
+/// plus each copy's result.
+pub fn run_copies(
+    workload: &dyn Workload,
+    config: GcConfig,
+    seed: u64,
+    copies: usize,
+) -> (Duration, Vec<RunResult>) {
+    let start = Instant::now();
+    let results: Vec<RunResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..copies)
+            .map(|c| {
+                let w = &workload;
+                s.spawn(move || run_workload(*w, config, seed.wrapping_add(c as u64)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("workload copy panicked")).collect()
+    });
+    (start.elapsed(), results)
+}
+
+/// The paper's headline metric: percentage improvement of `gen` over
+/// `nogen` — positive means the generational collector is faster.
+pub fn percent_improvement(nogen: Duration, gen: Duration) -> f64 {
+    if nogen.is_zero() {
+        0.0
+    } else {
+        100.0 * (nogen.as_secs_f64() - gen.as_secs_f64()) / nogen.as_secs_f64()
+    }
+}
+
+/// Convenience: measure `workload` under both collectors ("multiprocessor"
+/// = `copies` concurrent copies) and return
+/// `(improvement_multi, improvement_uni)` — the two columns of the paper's
+/// Figures 8 and 9.
+pub fn measure_improvement(
+    workload: &dyn Workload,
+    gen_cfg: GcConfig,
+    nogen_cfg: GcConfig,
+    seed: u64,
+    copies: usize,
+) -> (f64, f64) {
+    let (multi_nogen, _) = run_copies(workload, nogen_cfg, seed, copies);
+    let (multi_gen, _) = run_copies(workload, gen_cfg, seed, copies);
+    let uni_nogen = run_workload(workload, nogen_cfg, seed);
+    let uni_gen = run_workload(workload, gen_cfg, seed);
+    (
+        percent_improvement(multi_nogen, multi_gen),
+        percent_improvement(uni_nogen.elapsed, uni_gen.elapsed),
+    )
+}

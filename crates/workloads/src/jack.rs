@@ -1,0 +1,116 @@
+//! `_228_jack` (paper §8.2, SPECjvm98) — mildly anti-generational.
+//!
+//! A parser generator that makes repeated passes over its input, each
+//! pass materializing a token stream and intermediate structures that
+//! live exactly as long as the pass.
+//!
+//! Generational signature reproduced (Figures 10–12): pass-local data
+//! outlives the young-generation budget, so most of it is promoted and
+//! then dies at end of pass — 90.8% of objects are freed by *full*
+//! collections, partials free a similar fraction to fulls ("if
+//! non-generational collections can free a similar percentage of objects
+//! as partial collections, then we do not gain efficiency with the
+//! partial collections, whereas we do pay the overhead cost"), and the
+//! net effect of generations is a small loss (−2.1%/−7.7%, Figure 9).
+
+use otf_gc::{Mutator, ObjectRef};
+
+use crate::toolkit::{alloc_array, alloc_data, alloc_node, mix, pick, rng_for};
+use crate::Workload;
+
+/// Tokens per stream chunk.
+const TOKEN_CHUNK: usize = 2048;
+
+/// The jack workload.
+#[derive(Clone, Debug)]
+pub struct Jack {
+    /// Parse passes over the input.
+    pub passes: usize,
+    /// Tokens materialized per pass (alive for the whole pass).
+    pub tokens_per_pass: usize,
+    /// Short-lived analysis temporaries per pass (the bulk of jack's
+    /// allocation — they die young; only the token stream gets tenured).
+    pub temps_per_pass: usize,
+}
+
+impl Jack {
+    /// The default configuration: each pass allocates ≈ 11 MB, of which
+    /// ≈ 1.5 MB (the token stream) lives to the end of the pass — long
+    /// enough to be tenured by the partial collections that land mid-pass,
+    /// and dead immediately after (the paper's Figure 12: fulls free 90.8%
+    /// of jack's objects, nearly the same fraction partials do).
+    pub fn new() -> Jack {
+        Jack { passes: 18, tokens_per_pass: 20_000, temps_per_pass: 300_000 }
+    }
+
+    /// Scales the amount of work.
+    pub fn scaled(mut self, scale: f64) -> Jack {
+        self.passes = ((self.passes as f64 * scale) as usize).max(1);
+        self
+    }
+}
+
+impl Default for Jack {
+    fn default() -> Self {
+        Jack::new()
+    }
+}
+
+impl Workload for Jack {
+    fn name(&self) -> &'static str {
+        "_228_jack"
+    }
+
+    fn run(&self, thread: usize, seed: u64, m: &mut Mutator) {
+        let mut rng = rng_for(seed, thread as u64);
+        let mut checksum = 0u64;
+
+        for pass in 0..self.passes {
+            // The token stream: chunked arrays of token objects, all
+            // alive until the end of the pass.
+            let n_chunks = self.tokens_per_pass.div_ceil(TOKEN_CHUNK);
+            let stream: ObjectRef = alloc_array(m, n_chunks);
+            m.root_push(stream);
+            for c in 0..n_chunks {
+                let chunk = alloc_array(m, TOKEN_CHUNK);
+                m.write_ref(stream, c, chunk);
+                for i in 0..TOKEN_CHUNK.min(self.tokens_per_pass - c * TOKEN_CHUNK) {
+                    let token = alloc_node(m, 1, 1);
+                    m.write_data(token, 0, mix((pass * 1_000_000 + c * TOKEN_CHUNK + i) as u64, 96));
+                    // Store the token before allocating its lexeme: the
+                    // allocation is a safe point.
+                    m.write_ref(chunk, i, token);
+                    // Every few tokens carry a lexeme payload.
+                    if i % 4 == 0 {
+                        let lexeme = alloc_data(m, 2);
+                        m.write_data(lexeme, 0, i as u64);
+                        m.write_ref(token, 0, lexeme);
+                    }
+                }
+                m.cooperate();
+            }
+
+            // Grammar analysis over the stream: short-lived temporaries,
+            // random token reads.
+            for t in 0..self.temps_per_pass {
+                if t % 4096 == 0 {
+                    m.cooperate();
+                }
+                let c = pick(&mut rng, n_chunks);
+                let chunk = m.read_ref(stream, c);
+                let t = pick(&mut rng, TOKEN_CHUNK);
+                let token = m.read_ref(chunk, t);
+                if !token.is_null() {
+                    let _production = alloc_data(m, 2);
+                    checksum = checksum.wrapping_add(mix(m.read_data(token, 0), 96));
+                }
+            }
+
+            // End of pass: the whole stream dies at once — but it has
+            // already been promoted.
+            m.root_pop();
+            m.cooperate();
+        }
+        std::hint::black_box(checksum);
+    }
+}

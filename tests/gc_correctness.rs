@@ -1,0 +1,310 @@
+//! End-to-end correctness tests for the on-the-fly collector.
+//!
+//! The central invariant of any collector: *no live object is ever
+//! reclaimed, and garbage is eventually reclaimed* — exercised here under
+//! real concurrency (mutator threads running against the collector
+//! thread) with small heaps so many cycles happen.
+
+use otf_gengc::gc::{CycleKind, Gc, GcConfig};
+use otf_gengc::heap::{ObjShape, ObjectRef};
+
+/// A small heap so collections are frequent.
+fn small(cfg: GcConfig) -> GcConfig {
+    cfg.with_max_heap(4 << 20).with_initial_heap(1 << 20).with_young_size(64 << 10)
+}
+
+/// Builds a linked list of `n` nodes, each carrying `seed + i` in its data
+/// word, and returns the head.  The head is rooted by the caller.
+fn build_list(m: &mut otf_gengc::gc::Mutator, n: usize, seed: u64) -> ObjectRef {
+    let node = ObjShape::new(1, 1);
+    let head = m.alloc(&node).unwrap();
+    m.write_data(head, 0, seed);
+    let root = m.root_push(head);
+    let mut tail = head;
+    for i in 1..n {
+        let next = m.alloc(&node).unwrap();
+        m.write_data(next, 0, seed + i as u64);
+        m.write_ref(tail, 0, next);
+        tail = next;
+    }
+    let head = m.root_get(root);
+    m.root_pop();
+    head
+}
+
+/// Walks the list and checks the payloads.
+fn check_list(m: &otf_gengc::gc::Mutator, head: ObjectRef, n: usize, seed: u64) {
+    let mut cur = head;
+    for i in 0..n {
+        assert!(!cur.is_null(), "list truncated at {i}/{n}");
+        assert_eq!(m.read_data(cur, 0), seed + i as u64, "payload corrupted at {i}");
+        cur = m.read_ref(cur, 0);
+    }
+    assert!(cur.is_null(), "list longer than expected");
+}
+
+fn churn_under_config(cfg: GcConfig) {
+    let gc = Gc::new(small(cfg));
+    let mut m = gc.mutator();
+    // A long-lived list that must survive every collection.
+    let keeper = build_list(&mut m, 500, 10_000);
+    m.root_push(keeper);
+
+    // Churn: many short-lived lists, a few medium-lived ones.
+    let mut medium: Vec<(ObjectRef, usize, u64)> = Vec::new();
+    for round in 0..200u64 {
+        let head = build_list(&mut m, 100, round * 1000);
+        // Keep every 10th list alive for 5 rounds.
+        if round % 10 == 0 {
+            m.root_push(head);
+            medium.push((head, 100, round * 1000));
+            if medium.len() > 5 {
+                let (old, n, seed) = medium.remove(0);
+                check_list(&m, old, n, seed);
+                // Drop the oldest medium list: find and remove its root.
+                let keep: Vec<ObjectRef> = (0..m.root_len())
+                    .map(|i| m.root_get(i))
+                    .filter(|&r| r != old)
+                    .collect();
+                m.root_truncate(0);
+                for r in keep {
+                    m.root_push(r);
+                }
+            }
+        }
+        m.cooperate();
+        // The keeper must stay intact through every cycle.
+        if round % 50 == 0 {
+            check_list(&m, keeper, 500, 10_000);
+        }
+    }
+    check_list(&m, keeper, 500, 10_000);
+    for (head, n, seed) in &medium {
+        check_list(&m, *head, *n, *seed);
+    }
+    // Mutators can outrun the on-the-fly collector in a short test; force
+    // one full cycle so the assertions below are deterministic.
+    m.parked(|| gc.collect_full_blocking());
+    check_list(&m, keeper, 500, 10_000);
+    for (head, n, seed) in &medium {
+        check_list(&m, *head, *n, *seed);
+    }
+    let stats = gc.stats();
+    assert!(
+        !stats.cycles.is_empty(),
+        "expected collections to happen (allocated {} bytes)",
+        stats.bytes_allocated
+    );
+    // Garbage is eventually reclaimed.
+    let freed: u64 = stats.cycles.iter().map(|c| c.bytes_freed).sum();
+    assert!(freed > 0, "no bytes were ever reclaimed");
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn churn_generational_simple() {
+    churn_under_config(GcConfig::generational());
+}
+
+#[test]
+fn churn_non_generational() {
+    churn_under_config(GcConfig::non_generational());
+}
+
+#[test]
+fn churn_aging() {
+    churn_under_config(GcConfig::aging(4));
+}
+
+#[test]
+fn churn_block_marking() {
+    churn_under_config(GcConfig::generational().with_card_size(4096));
+}
+
+#[test]
+fn multithreaded_churn_all_variants() {
+    for cfg in [GcConfig::generational(), GcConfig::non_generational(), GcConfig::aging(3)] {
+        let gc = Gc::new(small(cfg));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let mut m = gc.mutator();
+                s.spawn(move || {
+                    let keeper = build_list(&mut m, 200, t * 1_000_000);
+                    m.root_push(keeper);
+                    for round in 0..100u64 {
+                        let seed = t * 1_000_000 + round * 997;
+                        let head = build_list(&mut m, 50, seed);
+                        check_list(&m, head, 50, seed);
+                        m.cooperate();
+                    }
+                    check_list(&m, keeper, 200, t * 1_000_000);
+                });
+            }
+        });
+        gc.collect_full_blocking();
+        assert!(gc.cycles_completed() > 0, "no collections under concurrency");
+        gc.shutdown();
+    }
+}
+
+#[test]
+fn inter_generational_pointer_keeps_young_alive() {
+    // An old object pointing at a young object: the young one must survive
+    // a partial collection purely via the dirty-card scan.
+    let gc = Gc::new(small(GcConfig::generational()));
+    let mut m = gc.mutator();
+    let node = ObjShape::new(1, 1);
+
+    // Make `old` old by keeping it alive across one collection.
+    let old = m.alloc(&node).unwrap();
+    m.write_data(old, 0, 7);
+    m.root_push(old);
+    m.parked(|| gc.collect_full_blocking());
+    assert_eq!(gc.debug_color_of(old), otf_gengc::heap::Color::Black);
+
+    // Store a young object into the old one; drop all stack roots to it.
+    let young = m.alloc(&node).unwrap();
+    m.write_data(young, 0, 99);
+    m.write_ref(old, 0, young);
+
+    // Force a partial collection: allocate past the young budget.
+    // `stats().cycles` records only completed cycles, so polling it also
+    // waits for the sweep to finish.
+    let filler = ObjShape::new(0, 6);
+    let before = gc.stats().cycles.len();
+    while gc.stats().cycles.len() == before {
+        for _ in 0..1000 {
+            let _ = m.alloc(&filler).unwrap();
+        }
+        m.cooperate();
+    }
+
+    let y = m.read_ref(old, 0);
+    assert_eq!(y, young);
+    assert_eq!(m.read_data(y, 0), 99, "young object lost despite inter-gen pointer");
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn unreachable_objects_are_reclaimed_by_full_collection() {
+    let gc = Gc::new(small(GcConfig::generational()));
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(0, 30);
+    let mut garbage = Vec::new();
+    for _ in 0..2000 {
+        garbage.push(m.alloc(&shape).unwrap());
+    }
+    // No roots: everything above is garbage.
+    garbage.clear();
+    let used_before = gc.used_bytes();
+    m.parked(|| gc.collect_full_blocking());
+    m.parked(|| gc.collect_full_blocking());
+    let used_after = gc.used_bytes();
+    assert!(
+        used_after < used_before,
+        "full collections reclaimed nothing ({used_before} -> {used_after})"
+    );
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn oom_is_reported_not_crashed() {
+    let cfg = GcConfig::generational()
+        .with_max_heap(256 << 10)
+        .with_initial_heap(256 << 10)
+        .with_young_size(32 << 10);
+    let gc = Gc::new(cfg);
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(1, 10);
+    let mut err = None;
+    // Keep everything alive: the heap must eventually overflow.
+    let mut prev = ObjectRef::NULL;
+    for _ in 0..10_000 {
+        match m.alloc(&shape) {
+            Ok(obj) => {
+                m.write_ref(obj, 0, prev);
+                prev = obj;
+                if m.root_len() == 0 {
+                    m.root_push(obj);
+                } else {
+                    m.root_set(0, obj);
+                }
+            }
+            Err(e) => {
+                err = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(matches!(err, Some(otf_gengc::gc::AllocError::OutOfMemory { .. })));
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn stats_record_partial_and_full_cycles() {
+    let gc = Gc::new(small(GcConfig::generational()));
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(0, 14);
+    for _ in 0..20_000 {
+        let _ = m.alloc(&shape).unwrap();
+    }
+    m.parked(|| gc.collect_full_blocking());
+    let stats = gc.stats();
+    assert!(stats.partial_count() > 0, "expected partial collections");
+    assert!(stats.full_count() > 0, "expected a full collection");
+    assert!(stats.cycles_of(CycleKind::Partial).all(|c| c.kind == CycleKind::Partial));
+    assert!(stats.gc_active > std::time::Duration::ZERO);
+    assert!(stats.objects_allocated >= 20_000);
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn non_generational_never_runs_partials() {
+    let gc = Gc::new(small(GcConfig::non_generational()));
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(0, 14);
+    for _ in 0..20_000 {
+        let _ = m.alloc(&shape).unwrap();
+    }
+    m.parked(|| gc.collect_full_blocking());
+    let stats = gc.stats();
+    assert_eq!(stats.partial_count(), 0);
+    assert!(stats.full_count() > 0);
+    drop(m);
+    gc.shutdown();
+}
+
+#[test]
+fn yellow_objects_survive_the_cycle_they_are_born_in() {
+    // Objects created during a collection must not be reclaimed by that
+    // collection's sweep even when unreachable (they die in the *next*
+    // cycle).  We can't easily freeze the collector mid-cycle from here,
+    // so we just hammer allocation during induced cycles and rely on the
+    // payload checks of the churn tests; here we verify the weaker,
+    // directly observable property: an object allocated and immediately
+    // rooted while a collection runs is alive and intact afterwards.
+    let gc = Gc::new(small(GcConfig::generational()));
+    let mut m = gc.mutator();
+    gc.request_full();
+    let node = ObjShape::new(0, 1);
+    let mut kept = Vec::new();
+    for i in 0..5000u64 {
+        let obj = m.alloc(&node).unwrap();
+        m.write_data(obj, 0, i);
+        if i % 100 == 0 {
+            m.root_push(obj);
+            kept.push((obj, i));
+        }
+    }
+    m.parked(|| gc.collect_full_blocking());
+    for (obj, i) in kept {
+        assert_eq!(m.read_data(obj, 0), i);
+    }
+    drop(m);
+    gc.shutdown();
+}
