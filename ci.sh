@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# The workspace has zero external crates, so everything runs --offline
+# against an empty cargo registry.  The build is warning-free; -D warnings
+# keeps it that way.
+set -eux
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+cargo build --release --offline --workspace --all-targets
+cargo test -q --offline
+cargo fmt --check

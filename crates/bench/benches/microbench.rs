@@ -1,11 +1,13 @@
-//! Criterion micro-benchmarks for the collector's hot paths: allocation,
-//! the three write-barrier variants, reads, safe-point polling, and whole
-//! collection cycles over a populated heap.
+//! Micro-benchmarks for the collector's hot paths: allocation, the three
+//! write-barrier variants, reads, safe-point polling, and whole
+//! collection cycles over a populated heap — on the zero-dependency
+//! `otf_support::bench` harness (warmup, N samples, median/p95).
 //!
-//! Run with `cargo bench -p otf-bench`.
+//! Run with `cargo bench -p otf-bench`.  Set `OTF_BENCH_QUICK=1` for a
+//! fast smoke pass.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use otf_gc::{Gc, GcConfig, Mutator, ObjShape, ObjectRef};
+use otf_support::bench::Harness;
 
 /// A quiet heap: no triggers fire during the measurement.
 fn quiet(cfg: GcConfig) -> GcConfig {
@@ -14,9 +16,7 @@ fn quiet(cfg: GcConfig) -> GcConfig {
         .with_young_size(48 << 20)
 }
 
-fn bench_alloc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("alloc");
-    g.throughput(Throughput::Elements(1));
+fn bench_alloc(h: &mut Harness) {
     for (label, cfg) in [
         ("generational", quiet(GcConfig::generational())),
         ("non_generational", quiet(GcConfig::non_generational())),
@@ -25,13 +25,10 @@ fn bench_alloc(c: &mut Criterion) {
         let gc = Gc::new(cfg);
         let mut m = gc.mutator();
         let shape = ObjShape::new(1, 2);
-        g.bench_function(label, |b| {
-            b.iter(|| std::hint::black_box(m.alloc(&shape).unwrap()));
-        });
+        h.bench(&format!("alloc/{label}"), || m.alloc(&shape).unwrap());
         drop(m);
         gc.shutdown();
     }
-    g.finish();
 }
 
 fn setup_pair(gc: &Gc, m: &mut Mutator) -> (ObjectRef, ObjectRef) {
@@ -44,35 +41,33 @@ fn setup_pair(gc: &Gc, m: &mut Mutator) -> (ObjectRef, ObjectRef) {
     (a, b)
 }
 
-fn bench_write_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("write_barrier");
-    g.throughput(Throughput::Elements(1));
+fn bench_write_barrier(h: &mut Harness) {
     for (label, cfg) in [
         ("simple_async", quiet(GcConfig::generational())),
-        ("non_generational_async", quiet(GcConfig::non_generational())),
+        (
+            "non_generational_async",
+            quiet(GcConfig::non_generational()),
+        ),
         ("aging_async", quiet(GcConfig::aging(4))),
     ] {
         let gc = Gc::new(cfg);
         let mut m = gc.mutator();
         let (a, b) = setup_pair(&gc, &mut m);
-        g.bench_function(label, |bch| {
-            bch.iter(|| m.write_ref(std::hint::black_box(a), 0, std::hint::black_box(b)));
+        h.bench(&format!("write_barrier/{label}"), || {
+            m.write_ref(std::hint::black_box(a), 0, std::hint::black_box(b))
         });
         drop(m);
         gc.shutdown();
     }
-    g.finish();
 }
 
-fn bench_reads_and_safepoint(c: &mut Criterion) {
+fn bench_reads_and_safepoint(h: &mut Harness) {
     let gc = Gc::new(quiet(GcConfig::generational()));
     let mut m = gc.mutator();
     let (a, b) = setup_pair(&gc, &mut m);
     m.write_ref(a, 0, b);
-    c.bench_function("read_ref", |bch| {
-        bch.iter(|| std::hint::black_box(m.read_ref(std::hint::black_box(a), 0)))
-    });
-    c.bench_function("cooperate_no_handshake", |bch| bch.iter(|| m.cooperate()));
+    h.bench("read_ref", || m.read_ref(std::hint::black_box(a), 0));
+    h.bench("cooperate_no_handshake", || m.cooperate());
     drop(m);
     gc.shutdown();
 }
@@ -95,43 +90,32 @@ fn build_tree(m: &mut Mutator, n: usize) {
         }
         count += 1;
     }
-    // Keep only the root rooted: the tree hangs off it... but interior
-    // nodes were overwritten? No: each parent gets at most 2 children via
-    // distinct slots over time — good enough for a trace benchmark.
 }
 
-fn bench_collection_cycle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collection_cycle");
-    g.sample_size(20);
+fn bench_collection_cycle(h: &mut Harness) {
     for live in [10_000usize, 100_000] {
         for (label, cfg) in [
             ("generational", GcConfig::generational()),
             ("non_generational", GcConfig::non_generational()),
         ] {
             let gc = Gc::new(
-                cfg.with_max_heap(64 << 20).with_initial_heap(64 << 20).with_young_size(56 << 20),
+                cfg.with_max_heap(64 << 20)
+                    .with_initial_heap(64 << 20)
+                    .with_young_size(56 << 20),
             );
             let mut m = gc.mutator();
             build_tree(&mut m, live);
-            g.bench_function(format!("{label}/live_{live}"), |bch| {
-                bch.iter_batched(
-                    || (),
-                    |_| m.parked(|| gc.collect_full_blocking()),
-                    BatchSize::PerIteration,
-                )
+            h.bench_once(&format!("collection_cycle/{label}/live_{live}"), || {
+                m.parked(|| gc.collect_full_blocking())
             });
             drop(m);
             gc.shutdown();
         }
     }
-    g.finish();
 }
 
-fn bench_alloc_collect_steady_state(c: &mut Criterion) {
+fn bench_alloc_collect_steady_state(h: &mut Harness) {
     // End-to-end: allocate through repeated on-the-fly collections.
-    let mut g = c.benchmark_group("steady_state");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(32 * 50_000));
     for (label, cfg) in [
         ("generational", GcConfig::generational()),
         ("non_generational", GcConfig::non_generational()),
@@ -139,25 +123,22 @@ fn bench_alloc_collect_steady_state(c: &mut Criterion) {
         let gc = Gc::new(cfg.with_max_heap(8 << 20).with_young_size(512 << 10));
         let mut m = gc.mutator();
         let shape = ObjShape::new(0, 2); // 32-byte objects
-        g.bench_function(format!("churn_50k_objs/{label}"), |bch| {
-            bch.iter(|| {
-                for _ in 0..50_000 {
-                    std::hint::black_box(m.alloc(&shape).unwrap());
-                }
-            })
+        h.bench_once(&format!("steady_state/churn_50k_objs/{label}"), || {
+            for _ in 0..50_000 {
+                std::hint::black_box(m.alloc(&shape).unwrap());
+            }
         });
         drop(m);
         gc.shutdown();
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_alloc,
-    bench_write_barrier,
-    bench_reads_and_safepoint,
-    bench_collection_cycle,
-    bench_alloc_collect_steady_state
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_alloc(&mut h);
+    bench_write_barrier(&mut h);
+    bench_reads_and_safepoint(&mut h);
+    bench_collection_cycle(&mut h);
+    bench_alloc_collect_steady_state(&mut h);
+    h.finish();
+}

@@ -27,7 +27,11 @@ pub struct Ctx {
 impl Ctx {
     /// Creates a context.
     pub fn new(o: Options) -> Ctx {
-        Ctx { o, runs: RefCell::new(HashMap::new()), copy_times: RefCell::new(HashMap::new()) }
+        Ctx {
+            o,
+            runs: RefCell::new(HashMap::new()),
+            copy_times: RefCell::new(HashMap::new()),
+        }
     }
 
     fn cfg_key(cfg: &GcConfig) -> String {
@@ -77,7 +81,10 @@ impl Ctx {
         let multi_g = self.copies(label, w, gen_cfg);
         let uni_n = self.run(label, w, nogen_cfg).elapsed;
         let uni_g = self.run(label, w, gen_cfg).elapsed;
-        (percent_improvement(multi_n, multi_g), percent_improvement(uni_n, uni_g))
+        (
+            percent_improvement(multi_n, multi_g),
+            percent_improvement(uni_n, uni_g),
+        )
     }
 
     /// Uniprocessor-only improvement.
@@ -105,9 +112,7 @@ fn nogen_cfg() -> GcConfig {
 /// Figure 7: percentage improvement (elapsed time) for the multithreaded
 /// Ray Tracer with 2–10 application threads.
 pub fn fig07(ctx: &Ctx) -> Table {
-    let mut t = Table::new(
-        "Figure 7: % improvement for multithreaded Ray Tracer (2-10 threads)",
-    );
+    let mut t = Table::new("Figure 7: % improvement for multithreaded Ray Tracer (2-10 threads)");
     t.header(["No. of threads", "2", "4", "6", "8", "10"]);
     let mut row = vec!["Improvement".to_string()];
     for threads in [2usize, 4, 6, 8, 10] {
@@ -127,7 +132,11 @@ pub fn fig08(ctx: &Ctx) -> Table {
     let (multi, uni) = ctx.improvements("anagram", &w, gen_cfg(), nogen_cfg());
     let mut t = Table::new("Figure 8: % improvement for Anagram");
     t.header(["Benchmark", "Multiprocessor", "Uniprocessor"]);
-    t.row(["Anagram".into(), format!("{}%", pct(multi)), format!("{}%", pct(uni))]);
+    t.row([
+        "Anagram".into(),
+        format!("{}%", pct(multi)),
+        format!("{}%", pct(uni)),
+    ]);
     t
 }
 
@@ -140,7 +149,11 @@ pub fn fig09(ctx: &Ctx) -> Table {
             continue; // Figure 8's subject
         }
         let (multi, uni) = ctx.improvements(w.name(), w.as_ref(), gen_cfg(), nogen_cfg());
-        t.row([w.name().to_string(), format!("{}%", pct(multi)), format!("{}%", pct(uni))]);
+        t.row([
+            w.name().to_string(),
+            format!("{}%", pct(multi)),
+            format!("{}%", pct(uni)),
+        ]);
     }
     t
 }
@@ -213,8 +226,14 @@ pub fn fig12(ctx: &Ctx) -> Table {
         let (gs, ns, _, _) = stats_pair(ctx, w.as_ref());
         t.row([
             w.name().to_string(),
-            format!("{}%", f1_opt(gs.avg_percent_bytes_freed(CycleKind::Partial))),
-            format!("{}%", f1_opt(gs.avg_percent_objects_freed(CycleKind::Partial))),
+            format!(
+                "{}%",
+                f1_opt(gs.avg_percent_bytes_freed(CycleKind::Partial))
+            ),
+            format!(
+                "{}%",
+                f1_opt(gs.avg_percent_objects_freed(CycleKind::Partial))
+            ),
             format!("{}%", f1_opt(gs.avg_percent_objects_freed(CycleKind::Full))),
             format!("{}%", f1_opt(ns.avg_percent_objects_freed(CycleKind::Full))),
         ]);
@@ -301,7 +320,9 @@ pub fn fig16(ctx: &Ctx) -> Table {
             for threads in [2usize, 4, 6, 8, 10] {
                 let w = RayTracer::multithreaded(threads).scaled(ctx.o.scale);
                 let label = format!("mtrt-t{threads}");
-                let cfg = gen_cfg().with_card_size(card).with_young_size(young_mb << 20);
+                let cfg = gen_cfg()
+                    .with_card_size(card)
+                    .with_young_size(young_mb << 20);
                 let imp = ctx.uni_improvement(&label, &w, cfg, nogen_cfg());
                 row.push(pct(imp));
             }
@@ -313,9 +334,8 @@ pub fn fig16(ctx: &Ctx) -> Table {
 
 /// Figure 17: young-generation size tuning for the SPECjvm benchmarks.
 pub fn fig17(ctx: &Ctx) -> Table {
-    let mut t = Table::new(
-        "Figure 17: tuning young-generation size - % improvement, SPECjvm benchmarks",
-    );
+    let mut t =
+        Table::new("Figure 17: tuning young-generation size - % improvement, SPECjvm benchmarks");
     let mut header = vec!["Benchmark".to_string()];
     for mark in ["block", "object"] {
         for y in YOUNG_SIZES_MB {
@@ -327,7 +347,9 @@ pub fn fig17(ctx: &Ctx) -> Table {
         let mut row = vec![w.name().to_string()];
         for card in [4096usize, 16] {
             for young_mb in YOUNG_SIZES_MB {
-                let cfg = gen_cfg().with_card_size(card).with_young_size(young_mb << 20);
+                let cfg = gen_cfg()
+                    .with_card_size(card)
+                    .with_young_size(young_mb << 20);
                 let imp = ctx.uni_improvement(w.name(), w.as_ref(), cfg, nogen_cfg());
                 row.push(pct(imp));
             }
@@ -368,9 +390,7 @@ pub fn fig18_19(ctx: &Ctx, thresholds: [u8; 2], figure: &str) -> Table {
 /// Figure 20: the cost of the aging mechanism itself — aging with
 /// threshold 2 versus the simple promotion method.
 pub fn fig20(ctx: &Ctx) -> Table {
-    let mut t = Table::new(
-        "Figure 20: % improvement of aging (threshold 2) over simple promotion",
-    );
+    let mut t = Table::new("Figure 20: % improvement of aging (threshold 2) over simple promotion");
     let mut header = vec!["Benchmark".to_string()];
     for y in YOUNG_SIZES_MB {
         header.push(format!("{y}m"));
@@ -446,7 +466,9 @@ pub fn fig23(ctx: &Ctx) -> Table {
             let cfg = gen_cfg().with_card_size(card);
             let r = ctx.run(w.name(), w.as_ref(), cfg);
             row.push(f0_opt(
-                r.stats.avg_intergen_bytes(CycleKind::Partial).map(|b| b / 1024.0),
+                r.stats
+                    .avg_intergen_bytes(CycleKind::Partial)
+                    .map(|b| b / 1024.0),
             ));
         }
         t.row(row);

@@ -9,7 +9,7 @@ use otf_workloads::driver::{self, RunResult};
 use otf_workloads::Workload;
 
 /// Harness options shared by all figure binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Options {
     /// Workload scale factor (1.0 = full size).
     pub scale: f64,
@@ -24,54 +24,116 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { scale: 1.0, reps: 3, copies: 4, seed: 42 }
+        Options {
+            scale: 1.0,
+            reps: 3,
+            copies: 4,
+            seed: 42,
+        }
     }
 }
 
+/// Result of parsing a figure binary's command line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Parsed {
+    /// Run with these options.
+    Run(Options),
+    /// `--help`/`-h` was given: print usage and exit successfully.
+    Help,
+}
+
 impl Options {
-    /// Parses harness options from command-line arguments:
-    /// `--scale X`, `--reps N`, `--copies N`, `--seed N`, `--quick`
-    /// (= `--scale 0.15 --reps 1 --copies 2`).
-    pub fn from_args() -> Options {
+    /// Usage text shared by every figure binary.
+    pub const USAGE: &'static str = "\
+Options (every fig* binary accepts the same set):
+  --scale X    workload scale factor (1.0 = full size; default 1.0)
+  --reps N     repetitions per measurement, median taken (default 3)
+  --copies N   concurrent application copies for the multiprocessor
+               metric (default 4)
+  --seed N     base RNG seed (default 42)
+  --quick      smoke configuration (= --scale 0.15 --reps 1 --copies 2)
+  --help, -h   print this help and exit";
+
+    /// Parses harness options from an argument list (the program name
+    /// must already be stripped).  Never panics: unknown flags and
+    /// malformed or missing values produce a warning on stderr and are
+    /// ignored, so a figure binary always runs to completion with sane
+    /// options; `--help`/`-h` yields [`Parsed::Help`].
+    pub fn parse<I, S>(args: I) -> Parsed
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        fn take<T: std::str::FromStr>(flag: &str, value: Option<&str>, what: &str, into: &mut T) {
+            match value.map(str::parse) {
+                Some(Ok(v)) => *into = v,
+                Some(Err(_)) => {
+                    eprintln!("warning: {flag} takes {what}; keeping the default")
+                }
+                None => eprintln!("warning: {flag} is missing its {what}; keeping the default"),
+            }
+        }
+
         let mut o = Options::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            // A flag's value is the next argument unless it is itself a flag.
+            let mut value = || args.next_if(|a| !a.as_ref().starts_with("--"));
+            match arg.as_ref() {
+                "--help" | "-h" => return Parsed::Help,
                 "--quick" => {
                     o.scale = 0.15;
                     o.reps = 1;
                     o.copies = 2;
                 }
-                "--scale" => {
-                    i += 1;
-                    o.scale = args[i].parse().expect("--scale takes a float");
-                }
-                "--reps" => {
-                    i += 1;
-                    o.reps = args[i].parse().expect("--reps takes an integer");
-                }
-                "--copies" => {
-                    i += 1;
-                    o.copies = args[i].parse().expect("--copies takes an integer");
-                }
-                "--seed" => {
-                    i += 1;
-                    o.seed = args[i].parse().expect("--seed takes an integer");
-                }
-                other => panic!("unknown argument {other}"),
+                "--scale" => take(
+                    "--scale",
+                    value().as_ref().map(|s| s.as_ref()),
+                    "a float",
+                    &mut o.scale,
+                ),
+                "--reps" => take(
+                    "--reps",
+                    value().as_ref().map(|s| s.as_ref()),
+                    "an integer",
+                    &mut o.reps,
+                ),
+                "--copies" => take(
+                    "--copies",
+                    value().as_ref().map(|s| s.as_ref()),
+                    "an integer",
+                    &mut o.copies,
+                ),
+                "--seed" => take(
+                    "--seed",
+                    value().as_ref().map(|s| s.as_ref()),
+                    "an integer",
+                    &mut o.seed,
+                ),
+                other => eprintln!("warning: ignoring unknown argument {other:?} (try --help)"),
             }
-            i += 1;
         }
-        o
+        Parsed::Run(o)
+    }
+
+    /// Parses `std::env::args()`; on `--help` prints usage and exits 0.
+    pub fn from_args() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Parsed::Run(o) => o,
+            Parsed::Help => {
+                println!("{}", Options::USAGE);
+                std::process::exit(0);
+            }
+        }
     }
 }
 
 /// Runs one copy of `workload` `reps` times; returns the run with the
 /// median elapsed time.
 pub fn median_run(w: &dyn Workload, cfg: GcConfig, o: &Options) -> RunResult {
-    let mut runs: Vec<RunResult> =
-        (0..o.reps.max(1)).map(|r| driver::run_workload(w, cfg, o.seed + r as u64)).collect();
+    let mut runs: Vec<RunResult> = (0..o.reps.max(1))
+        .map(|r| driver::run_workload(w, cfg, o.seed + r as u64))
+        .collect();
     runs.sort_by_key(|r| r.elapsed);
     runs.swap_remove(runs.len() / 2)
 }
@@ -107,8 +169,78 @@ pub fn improvements(
 
 /// Uniprocessor-only improvement (used by the parameter-sweep figures,
 /// which the paper also measured on a single configuration axis).
-pub fn uni_improvement(w: &dyn Workload, gen_cfg: GcConfig, nogen_cfg: GcConfig, o: &Options) -> f64 {
+pub fn uni_improvement(
+    w: &dyn Workload,
+    gen_cfg: GcConfig,
+    nogen_cfg: GcConfig,
+    o: &Options,
+) -> f64 {
     let nogen = median_run(w, nogen_cfg, o).elapsed;
     let gen = median_run(w, gen_cfg, o).elapsed;
     driver::percent_improvement(nogen, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Parsed {
+        Options::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn defaults_with_no_args() {
+        let Parsed::Run(o) = parse(&[]) else {
+            panic!("expected Run")
+        };
+        assert_eq!((o.scale, o.reps, o.copies, o.seed), (1.0, 3, 4, 42));
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let Parsed::Run(o) = parse(&[
+            "--scale", "0.5", "--reps", "7", "--copies", "2", "--seed", "9",
+        ]) else {
+            panic!("expected Run")
+        };
+        assert_eq!((o.scale, o.reps, o.copies, o.seed), (0.5, 7, 2, 9));
+    }
+
+    #[test]
+    fn quick_preset() {
+        let Parsed::Run(o) = parse(&["--quick"]) else {
+            panic!("expected Run")
+        };
+        assert_eq!((o.scale, o.reps, o.copies), (0.15, 1, 2));
+    }
+
+    #[test]
+    fn help_short_and_long() {
+        assert_eq!(parse(&["--help"]), Parsed::Help);
+        assert_eq!(parse(&["-h"]), Parsed::Help);
+        assert_eq!(parse(&["--reps", "2", "--help"]), Parsed::Help);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored_not_fatal() {
+        let Parsed::Run(o) = parse(&["--bogus", "--reps", "5", "also-bogus"]) else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.reps, 5);
+    }
+
+    #[test]
+    fn malformed_and_missing_values_keep_defaults() {
+        let Parsed::Run(o) = parse(&["--scale", "not-a-float", "--reps"]) else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.reps, 3);
+        // A flag directly following another flag is not consumed as its value.
+        let Parsed::Run(o) = parse(&["--reps", "--seed", "5"]) else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.reps, 3);
+        assert_eq!(o.seed, 5);
+    }
 }

@@ -12,7 +12,11 @@ pub struct Table {
 impl Table {
     /// Creates a table with a title (e.g. "Figure 9: ...").
     pub fn new(title: impl Into<String>) -> Table {
-        Table { title: title.into(), header: Vec::new(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Sets the header cells.

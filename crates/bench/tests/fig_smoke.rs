@@ -1,0 +1,56 @@
+//! Smoke test for the figure harness: a real figure must run end-to-end
+//! through `figures::Ctx` on a tiny object budget, so regressions in the
+//! measurement pipeline (driver, memoization, table rendering) are caught
+//! by `cargo test -q` instead of only by the long-running fig binaries.
+
+use otf_bench::figures::{self, Ctx};
+use otf_bench::Options;
+
+/// The smallest configuration that still exercises every stage: one rep,
+/// one copy, 1% workload scale.
+fn tiny() -> Options {
+    Options {
+        scale: 0.01,
+        reps: 1,
+        copies: 1,
+        seed: 7,
+    }
+}
+
+#[test]
+fn fig07_runs_end_to_end_on_tiny_budget() {
+    let ctx = Ctx::new(tiny());
+    let table = figures::fig07(&ctx);
+    let rendered = table.render();
+    assert!(rendered.contains("Figure 7"), "missing title: {rendered}");
+    // One header row + one data row covering the five thread counts.
+    assert!(
+        rendered.contains("No. of threads"),
+        "missing header: {rendered}"
+    );
+    assert!(
+        rendered.contains("Improvement"),
+        "missing data row: {rendered}"
+    );
+    for threads in ["2", "4", "6", "8", "10"] {
+        assert!(
+            rendered.contains(threads),
+            "missing column {threads}: {rendered}"
+        );
+    }
+    // Every cell must be a rendered percentage, not a placeholder.
+    assert!(
+        rendered.matches('%').count() >= 5,
+        "unrendered cells: {rendered}"
+    );
+}
+
+#[test]
+fn fig08_reuses_memoized_runs() {
+    let ctx = Ctx::new(tiny());
+    let first = figures::fig08(&ctx).render();
+    // Same Ctx: the memoized measurements must make the rerun identical.
+    let second = figures::fig08(&ctx).render();
+    assert_eq!(first, second);
+    assert!(first.contains("Anagram"));
+}

@@ -38,13 +38,18 @@ impl GcShared {
             let (gs, ge) = self.cards.granule_range(card);
             cx.touch_color_range(gs, ge.min(self.heap.frontier_granule()));
             let mut grayed: Vec<(ObjectRef, usize)> = Vec::new();
-            self.heap.for_each_object_start(gs, ge, |obj, color, header| {
-                if color == Color::Black {
-                    grayed.push((obj, header.size_granules()));
-                }
-            });
+            self.heap
+                .for_each_object_start(gs, ge, |obj, color, header| {
+                    if color == Color::Black {
+                        grayed.push((obj, header.size_granules()));
+                    }
+                });
             for (obj, size) in grayed {
-                if self.heap.colors().cas(obj.granule(), Color::Black, Color::Gray) {
+                if self
+                    .heap
+                    .colors()
+                    .cas(obj.granule(), Color::Black, Color::Gray)
+                {
                     cx.mark_stack.push(obj);
                     cx.counters.intergen_objects += 1;
                     cx.counters.intergen_bytes += (size * GRANULE) as u64;
@@ -90,25 +95,26 @@ impl GcShared {
             // Step 2: scan.
             let mut tenured_roots: Vec<(ObjectRef, usize, usize)> = Vec::new();
             let mut remark = false;
-            self.heap.for_each_object_start(gs, ge, |obj, color, header| {
-                let g = obj.granule();
-                let is_tenured = color == Color::Black && ages.get(g) >= threshold;
-                if is_tenured {
-                    tenured_roots.push((obj, header.ref_slots(), header.size_granules()));
-                } else if !remark {
-                    // A non-tenured object with any reference keeps the
-                    // card dirty if one of its sons is young: once this
-                    // parent is tenured the pointer becomes (or stays)
-                    // inter-generational.
-                    for i in 0..header.ref_slots() {
-                        let son = self.heap.arena().load_ref_slot(obj, i);
-                        if !son.is_null() && ages.get(son.granule()) < threshold {
-                            remark = true;
-                            break;
+            self.heap
+                .for_each_object_start(gs, ge, |obj, color, header| {
+                    let g = obj.granule();
+                    let is_tenured = color == Color::Black && ages.get(g) >= threshold;
+                    if is_tenured {
+                        tenured_roots.push((obj, header.ref_slots(), header.size_granules()));
+                    } else if !remark {
+                        // A non-tenured object with any reference keeps the
+                        // card dirty if one of its sons is young: once this
+                        // parent is tenured the pointer becomes (or stays)
+                        // inter-generational.
+                        for i in 0..header.ref_slots() {
+                            let son = self.heap.arena().load_ref_slot(obj, i);
+                            if !son.is_null() && ages.get(son.granule()) < threshold {
+                                remark = true;
+                                break;
+                            }
                         }
                     }
-                }
-            });
+                });
             for (obj, ref_slots, size) in tenured_roots {
                 cx.counters.intergen_objects += 1;
                 cx.counters.intergen_bytes += (size * GRANULE) as u64;

@@ -17,7 +17,8 @@ impl GcShared {
     pub(crate) fn run_cycle(&self, kind: CycleKind, cx: &mut CycleCx) -> CycleStats {
         let cycle_start = Instant::now();
         cx.reset();
-        self.collecting.store(true, std::sync::atomic::Ordering::Release);
+        self.collecting
+            .store(true, std::sync::atomic::Ordering::Release);
         let used_before = self.heap.used_bytes();
         let allocated_since_last = self.control.bytes_since_cycle();
 
@@ -83,7 +84,8 @@ impl GcShared {
         // The barrier must start graying overwritten values *before* any
         // mutator can observe async status, so the tracing flag goes up
         // first.
-        self.tracing.store(true, std::sync::atomic::Ordering::Release);
+        self.tracing
+            .store(true, std::sync::atomic::Ordering::Release);
         self.post_handshake(Status::Async);
         self.mark_global_roots_local(&mut cx.mark_stack);
         self.wait_handshake();
@@ -93,14 +95,16 @@ impl GcShared {
         let t = Instant::now();
         self.trace(cx);
         cx.phases.trace = t.elapsed();
-        self.tracing.store(false, std::sync::atomic::Ordering::Release);
+        self.tracing
+            .store(false, std::sync::atomic::Ordering::Release);
 
         // ----- sweep ------------------------------------------------------
         let t = Instant::now();
         self.sweep(cx);
         cx.phases.sweep = t.elapsed();
 
-        self.collecting.store(false, std::sync::atomic::Ordering::Release);
+        self.collecting
+            .store(false, std::sync::atomic::Ordering::Release);
 
         let c = cx.counters;
         CycleStats {
@@ -165,7 +169,9 @@ impl GcShared {
                 // the same with and without generations"), where it
                 // yields a cadence of roughly 1.7 young-budgets of
                 // garbage per collection.
-                let live = stats.bytes_survived.saturating_sub(stats.bytes_alloc_colored) as usize;
+                let live = stats
+                    .bytes_survived
+                    .saturating_sub(stats.bytes_alloc_colored) as usize;
                 // The generational heap needs headroom for a whole young
                 // budget of uncollected garbage *plus* in-flight
                 // allocation above the live set, or the almost-full
@@ -188,7 +194,8 @@ impl GcShared {
                 // one young budget (gently — doubling here would blow the
                 // carefully-sized trigger gap apart).
                 if since_last_full < self.heap.committed_bytes() as u64 / 4 {
-                    self.heap.grow_to(self.heap.committed_bytes() + self.config.young_size);
+                    self.heap
+                        .grow_to(self.heap.committed_bytes() + self.config.young_size);
                 }
             }
             self.control.consume_allocated(stats.allocated_since_last);
@@ -204,8 +211,7 @@ mod tests {
     use otf_heap::{Color, ObjShape, ObjectRef};
 
     fn setup(cfg: GcConfig) -> (GcShared, CycleCx) {
-        let sh =
-            GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
+        let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
         let cx = CycleCx::new(&sh);
         (sh, cx)
     }
@@ -215,7 +221,8 @@ mod tests {
         let shape = ObjShape::new(refs, 1);
         let n = shape.size_granules() as u32;
         let c = sh.heap.alloc_chunk(n, n).unwrap();
-        sh.heap.install_object(c.start as usize, &shape, sh.colors.allocation_color())
+        sh.heap
+            .install_object(c.start as usize, &shape, sh.colors.allocation_color())
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl GcConfig {
 
     /// The non-generational DLG baseline (with the color toggle).
     pub fn non_generational() -> GcConfig {
-        GcConfig { mode: Mode::NonGenerational, ..GcConfig::generational() }
+        GcConfig {
+            mode: Mode::NonGenerational,
+            ..GcConfig::generational()
+        }
     }
 
     /// Generational with the aging promotion policy.
@@ -169,7 +172,10 @@ impl GcConfig {
         if !self.card_size.is_power_of_two()
             || !(MIN_CARD_SIZE..=MAX_CARD_SIZE).contains(&self.card_size)
         {
-            return Err(format!("card size {} not a power of two in [16, 4096]", self.card_size));
+            return Err(format!(
+                "card size {} not a power of two in [16, 4096]",
+                self.card_size
+            ));
         }
         if !(0.0..=1.0).contains(&self.full_trigger_fraction)
             || !(0.0..=1.0).contains(&self.grow_fraction)
@@ -208,7 +214,9 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let c = GcConfig::non_generational().with_max_heap(8 << 20).with_initial_heap(1 << 20);
+        let c = GcConfig::non_generational()
+            .with_max_heap(8 << 20)
+            .with_initial_heap(1 << 20);
         assert!(!c.is_generational());
         assert!(c.validate().is_ok());
     }

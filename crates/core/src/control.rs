@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use parking_lot::{Condvar, Mutex};
+use otf_support::sync::{Condvar, Mutex};
 
 use crate::stats::CycleKind;
 

@@ -68,7 +68,8 @@ impl CycleCx {
     #[inline]
     pub(crate) fn touch_object(&mut self, obj: ObjectRef, words: usize) {
         let start = obj.byte();
-        self.pages.touch_range(Space::Arena, start, start + words * otf_heap::WORD);
+        self.pages
+            .touch_range(Space::Arena, start, start + words * otf_heap::WORD);
     }
 
     /// Records a color-table access for `granule`.
@@ -100,6 +101,7 @@ impl CycleCx {
     #[inline]
     pub(crate) fn touch_object_granules(&mut self, start_granule: usize, granules: usize) {
         let start = start_granule * GRANULE;
-        self.pages.touch_range(Space::Arena, start, start + granules * GRANULE);
+        self.pages
+            .touch_range(Space::Arena, start, start + granules * GRANULE);
     }
 }

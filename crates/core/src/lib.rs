@@ -59,18 +59,18 @@
 #![warn(missing_docs)]
 
 mod cards;
-mod proptest_cycle;
-mod verify;
 mod collector;
 mod config;
 mod control;
 mod cycle;
 mod mutator;
+mod proptest_cycle;
 mod shared;
 mod state;
 mod stats;
 mod sweep;
 mod trace;
+mod verify;
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -112,7 +112,10 @@ impl Gc {
                 .spawn(move || shared.collector_loop())
                 .expect("spawn collector thread")
         };
-        Gc { shared, collector: Some(collector) }
+        Gc {
+            shared,
+            collector: Some(collector),
+        }
     }
 
     /// Attaches a new mutator (application thread context).  The returned

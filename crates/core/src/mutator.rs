@@ -95,7 +95,14 @@ impl Mutator {
             Mode::Generational(Promotion::Simple) => BarrierKind::Simple,
             Mode::Generational(Promotion::Aging { .. }) => BarrierKind::Aging,
         };
-        Mutator { shared, me, lab: Lab::new(), roots: Vec::new(), barrier, unflushed_bytes: 0 }
+        Mutator {
+            shared,
+            me,
+            lab: Lab::new(),
+            roots: Vec::new(),
+            barrier,
+            unflushed_bytes: 0,
+        }
     }
 
     // ----- allocation (Create, Figure 1) --------------------------------
@@ -173,7 +180,9 @@ impl Mutator {
                 break;
             }
         }
-        Err(AllocError::OutOfMemory { requested: min as usize * otf_heap::GRANULE })
+        Err(AllocError::OutOfMemory {
+            requested: min as usize * otf_heap::GRANULE,
+        })
     }
 
     fn after_alloc(&mut self, bytes: usize) {
@@ -284,7 +293,10 @@ impl Mutator {
     #[inline]
     pub fn write_data(&mut self, x: ObjectRef, i: usize, value: u64) {
         let ref_slots = self.shared.heap.arena().header(x).ref_slots();
-        self.shared.heap.arena().store_data_word(x, ref_slots, i, value);
+        self.shared
+            .heap
+            .arena()
+            .store_data_word(x, ref_slots, i, value);
     }
 
     /// Loads a non-reference data word.

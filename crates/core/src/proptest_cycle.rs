@@ -1,4 +1,5 @@
-//! Property-based whole-cycle testing (test-only module).
+//! Randomized whole-cycle testing (test-only module), on the
+//! deterministic `otf_support::check` harness.
 //!
 //! Builds random object graphs directly on the substrate, runs complete
 //! collection cycles deterministically (no mutator threads — handshakes
@@ -6,18 +7,24 @@
 //! collection against a Rust-side model: *exactly* the model-reachable
 //! objects survive a full collection, and partial collections never free
 //! anything the model says is live.
+//!
+//! Every case is derived from a fixed seed, so failures reproduce
+//! bit-for-bit; on failure the harness shrinks the graph by halving (see
+//! `otf_support::check`).
 
 #![cfg(test)]
 
 use std::collections::HashSet;
 
 use otf_heap::{Color, ObjShape, ObjectRef};
-use proptest::prelude::*;
+use otf_support::check::{run_cases, Gen};
 
 use crate::config::GcConfig;
 use crate::cycle::CycleCx;
 use crate::shared::GcShared;
 use crate::stats::CycleKind;
+
+const CASES: u64 = 48;
 
 struct Graph {
     objects: Vec<ObjectRef>,
@@ -25,12 +32,20 @@ struct Graph {
     roots: Vec<usize>,
 }
 
-fn build(sh: &GcShared, n: usize, edge_seed: &[(usize, usize, usize)], root_bits: &[bool]) -> Graph {
+fn build(
+    sh: &GcShared,
+    n: usize,
+    edge_seed: &[(usize, usize, usize)],
+    root_bits: &[bool],
+) -> Graph {
     let shape = ObjShape::new(3, 1);
     let mut objects = Vec::with_capacity(n);
     let mut edges = vec![vec![None; 3]; n];
     for _ in 0..n {
-        let c = sh.heap.alloc_chunk(shape.size_granules() as u32, shape.size_granules() as u32).unwrap();
+        let c = sh
+            .heap
+            .alloc_chunk(shape.size_granules() as u32, shape.size_granules() as u32)
+            .unwrap();
         objects.push(sh.heap.install_object(
             c.start as usize,
             &shape,
@@ -39,15 +54,22 @@ fn build(sh: &GcShared, n: usize, edge_seed: &[(usize, usize, usize)], root_bits
     }
     for &(from, slot, to) in edge_seed {
         let (from, slot, to) = (from % n, slot % 3, to % n);
-        sh.heap.arena().store_ref_slot(objects[from], slot, objects[to]);
+        sh.heap
+            .arena()
+            .store_ref_slot(objects[from], slot, objects[to]);
         edges[from][slot] = Some(to);
     }
-    let roots: Vec<usize> =
-        (0..n).filter(|&i| root_bits.get(i).copied().unwrap_or(false)).collect();
+    let roots: Vec<usize> = (0..n)
+        .filter(|&i| root_bits.get(i).copied().unwrap_or(false))
+        .collect();
     for &r in &roots {
         sh.add_global_root(objects[r]);
     }
-    Graph { objects, edges, roots }
+    Graph {
+        objects,
+        edges,
+        roots,
+    }
 }
 
 fn model_reachable(g: &Graph) -> HashSet<usize> {
@@ -63,86 +85,104 @@ fn model_reachable(g: &Graph) -> HashSet<usize> {
     seen
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn edge(g: &mut Gen, n_max: usize) -> (usize, usize, usize) {
+    (g.usize_in(0..n_max), g.usize_in(0..3), g.usize_in(0..n_max))
+}
 
-    /// Full collection = exact reachability, for every variant.
-    #[test]
-    fn full_collection_is_exact_reachability(
-        n in 2usize..80,
-        edge_seed in prop::collection::vec((0usize..80, 0usize..3, 0usize..80), 0..160),
-        root_bits in prop::collection::vec(any::<bool>(), 80),
-        variant in 0u8..3,
-    ) {
-        let cfg = match variant {
-            0 => GcConfig::generational(),
-            1 => GcConfig::non_generational(),
-            _ => GcConfig::aging(3),
-        };
-        let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
-        let mut cx = CycleCx::new(&sh);
-        let g = build(&sh, n, &edge_seed, &root_bits);
-        let reachable = model_reachable(&g);
+/// Full collection = exact reachability, for every variant.
+#[test]
+fn full_collection_is_exact_reachability() {
+    run_cases(
+        "full_collection_is_exact_reachability",
+        0xC0FFEE,
+        CASES,
+        |g| {
+            let n = g.usize_in(2..80);
+            let edge_seed = g.vec_of(0..160, |g| edge(g, 80));
+            let root_bits = g.bools(80);
+            let variant = g.usize_in(0..3) as u8;
 
-        let stats = sh.run_cycle(CycleKind::Full, &mut cx);
-        for i in 0..n {
-            let color = sh.heap.colors().get(g.objects[i].granule());
-            if reachable.contains(&i) {
-                prop_assert!(color.is_object(), "live object {i} was reclaimed");
-            } else {
-                prop_assert_eq!(color, Color::Free, "dead object {} survived", i);
+            let cfg = match variant {
+                0 => GcConfig::generational(),
+                1 => GcConfig::non_generational(),
+                _ => GcConfig::aging(3),
+            };
+            let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
+            let mut cx = CycleCx::new(&sh);
+            let g = build(&sh, n, &edge_seed, &root_bits);
+            let reachable = model_reachable(&g);
+
+            let stats = sh.run_cycle(CycleKind::Full, &mut cx);
+            for i in 0..n {
+                let color = sh.heap.colors().get(g.objects[i].granule());
+                if reachable.contains(&i) {
+                    assert!(color.is_object(), "live object {i} was reclaimed");
+                } else {
+                    assert_eq!(color, Color::Free, "dead object {i} survived");
+                }
             }
-        }
-        prop_assert_eq!(stats.objects_freed as usize, n - reachable.len());
-        prop_assert_eq!(stats.objects_survived as usize, reachable.len());
-    }
+            assert_eq!(stats.objects_freed as usize, n - reachable.len());
+            assert_eq!(stats.objects_survived as usize, reachable.len());
+        },
+    );
+}
 
-    /// A partial collection never frees a model-reachable object, and a
-    /// following full collection still leaves the reachable set intact
-    /// (promotion + inter-generational bookkeeping compose correctly).
-    #[test]
-    fn partial_then_full_preserves_reachable(
-        n in 2usize..60,
-        edge_seed in prop::collection::vec((0usize..60, 0usize..3, 0usize..60), 0..120),
-        root_bits in prop::collection::vec(any::<bool>(), 60),
-        extra_edges in prop::collection::vec((0usize..60, 0usize..3, 0usize..60), 0..20),
-    ) {
-        let sh = GcShared::new(
-            GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
-        );
-        let mut cx = CycleCx::new(&sh);
-        let mut g = build(&sh, n, &edge_seed, &root_bits);
+/// A partial collection never frees a model-reachable object, and a
+/// following full collection still leaves the reachable set intact
+/// (promotion + inter-generational bookkeeping compose correctly).
+#[test]
+fn partial_then_full_preserves_reachable() {
+    run_cases(
+        "partial_then_full_preserves_reachable",
+        0xDECADE,
+        CASES,
+        |gen| {
+            let n = gen.usize_in(2..60);
+            let edge_seed = gen.vec_of(0..120, |g| edge(g, 60));
+            let root_bits = gen.bools(60);
+            let extra_edges = gen.vec_of(0..20, |g| edge(g, 60));
 
-        sh.run_cycle(CycleKind::Partial, &mut cx);
-        let reachable1 = model_reachable(&g);
-        for &i in &reachable1 {
-            prop_assert!(
-                sh.heap.colors().get(g.objects[i].granule()).is_object(),
-                "partial freed live object {i}"
+            let sh = GcShared::new(
+                GcConfig::generational()
+                    .with_max_heap(1 << 20)
+                    .with_initial_heap(1 << 20),
             );
-        }
+            let mut cx = CycleCx::new(&sh);
+            let mut g = build(&sh, n, &edge_seed, &root_bits);
 
-        // Mutate survivors the way the async write barrier would: store,
-        // then mark the parent's card.
-        for &(from, slot, to) in &extra_edges {
-            let (from, slot, to) = (from % n, slot % 3, to % n);
-            if reachable1.contains(&from) && reachable1.contains(&to) {
-                sh.heap.arena().store_ref_slot(g.objects[from], slot, g.objects[to]);
-                sh.cards.mark_byte(g.objects[from].byte());
-                g.edges[from][slot] = Some(to);
+            sh.run_cycle(CycleKind::Partial, &mut cx);
+            let reachable1 = model_reachable(&g);
+            for &i in &reachable1 {
+                assert!(
+                    sh.heap.colors().get(g.objects[i].granule()).is_object(),
+                    "partial freed live object {i}"
+                );
             }
-        }
 
-        sh.run_cycle(CycleKind::Partial, &mut cx);
-        sh.run_cycle(CycleKind::Full, &mut cx);
-        let reachable2 = model_reachable(&g);
-        for i in 0..n {
-            let color = sh.heap.colors().get(g.objects[i].granule());
-            if reachable2.contains(&i) {
-                prop_assert!(color.is_object(), "object {i} lost across cycles");
-            } else {
-                prop_assert_eq!(color, Color::Free, "dead object {} survived full", i);
+            // Mutate survivors the way the async write barrier would: store,
+            // then mark the parent's card.
+            for &(from, slot, to) in &extra_edges {
+                let (from, slot, to) = (from % n, slot % 3, to % n);
+                if reachable1.contains(&from) && reachable1.contains(&to) {
+                    sh.heap
+                        .arena()
+                        .store_ref_slot(g.objects[from], slot, g.objects[to]);
+                    sh.cards.mark_byte(g.objects[from].byte());
+                    g.edges[from][slot] = Some(to);
+                }
             }
-        }
-    }
+
+            sh.run_cycle(CycleKind::Partial, &mut cx);
+            sh.run_cycle(CycleKind::Full, &mut cx);
+            let reachable2 = model_reachable(&g);
+            for i in 0..n {
+                let color = sh.heap.colors().get(g.objects[i].granule());
+                if reachable2.contains(&i) {
+                    assert!(color.is_object(), "object {i} lost across cycles");
+                } else {
+                    assert_eq!(color, Color::Free, "dead object {i} survived full");
+                }
+            }
+        },
+    );
 }

@@ -5,9 +5,9 @@ use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::queue::SegQueue;
 use otf_heap::{CardTable, Color, HeapSpace, ObjectRef};
-use parking_lot::{Condvar, Mutex};
+use otf_support::queue::SegQueue;
+use otf_support::sync::{Condvar, Mutex};
 
 use crate::config::GcConfig;
 use crate::control::Control;
@@ -149,7 +149,10 @@ impl GcShared {
     #[inline]
     #[allow(dead_code)] // exercised by unit tests
     pub(crate) fn mark_gray_from_black(&self, obj: ObjectRef) -> bool {
-        let shaded = self.heap.colors().cas(obj.granule(), Color::Black, Color::Gray);
+        let shaded = self
+            .heap
+            .colors()
+            .cas(obj.granule(), Color::Black, Color::Gray);
         if shaded {
             self.gray.push(obj);
         }
@@ -224,9 +227,9 @@ impl GcShared {
             // lock, so a response cannot be missed; the timeout only
             // covers park-state transitions racing the check.
             let mut guard = self.hs_lock.lock();
-            let responded_now = snapshot.iter().all(|m| {
-                m.status.load(Ordering::Acquire) == target || m.park.lock().parked
-            });
+            let responded_now = snapshot
+                .iter()
+                .all(|m| m.status.load(Ordering::Acquire) == target || m.park.lock().parked);
             if !responded_now {
                 self.hs_cond.wait_for(&mut guard, Duration::from_millis(1));
             }
@@ -312,7 +315,9 @@ mod tests {
 
     fn small() -> GcShared {
         GcShared::new(
-            GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20),
         )
     }
 
@@ -320,7 +325,8 @@ mod tests {
         let shape = otf_heap::ObjShape::new(refs, 0);
         let n = shape.size_granules() as u32;
         let c = sh.heap.alloc_chunk(n, n).unwrap();
-        sh.heap.install_object(c.start as usize, &shape, sh.colors.allocation_color())
+        sh.heap
+            .install_object(c.start as usize, &shape, sh.colors.allocation_color())
     }
 
     #[test]
@@ -328,7 +334,9 @@ mod tests {
         let sh = small();
         assert_eq!(sh.trace_target(), Color::Black);
         let sh = GcShared::new(
-            GcConfig::non_generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+            GcConfig::non_generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20),
         );
         assert_eq!(sh.trace_target(), Color::White);
         sh.colors.toggle();

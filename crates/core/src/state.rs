@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use otf_heap::{Color, ObjectRef};
-use parking_lot::Mutex;
+use otf_support::sync::Mutex;
 
 /// Handshake statuses (§7): `sync1` between the first and second
 /// handshake, `sync2` between the second and third, `async` otherwise.
@@ -45,7 +45,9 @@ pub struct ColorState {
 impl ColorState {
     /// Initial state: allocation color White, clear color Yellow (§5).
     pub fn new() -> ColorState {
-        ColorState { flipped: AtomicU8::new(0) }
+        ColorState {
+            flipped: AtomicU8::new(0),
+        }
     }
 
     /// The current allocation color.

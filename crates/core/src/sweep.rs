@@ -148,7 +148,10 @@ mod tests {
         // granules*2 - 1 words total => exactly `granules` granules.
         let shape = ObjShape::new(0, granules * 2 - 1);
         assert_eq!(shape.size_granules(), granules);
-        let c = sh.heap.alloc_chunk(granules as u32, granules as u32).unwrap();
+        let c = sh
+            .heap
+            .alloc_chunk(granules as u32, granules as u32)
+            .unwrap();
         sh.heap.install_object(c.start as usize, &shape, color)
     }
 
@@ -213,7 +216,7 @@ mod tests {
         let threshold = 3;
         let (sh, mut cx) = setup(GcConfig::aging(threshold));
         sh.colors.toggle(); // allocation = Yellow, clear = White
-        // A traced (black) object of age 1: young survivor.
+                            // A traced (black) object of age 1: young survivor.
         let young = alloc(&sh, 1, Color::Black);
         sh.heap.ages().set(young.granule(), 1);
         // A traced object at the threshold: tenured, stays black.

@@ -71,7 +71,9 @@ mod tests {
 
     fn setup() -> (GcShared, CycleCx) {
         let sh = GcShared::new(
-            GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20),
         );
         let cx = CycleCx::new(&sh);
         (sh, cx)
@@ -163,7 +165,10 @@ mod tests {
         // Simulate a mutator stuck inside the write barrier: epoch odd,
         // color already CASed to gray, push not yet performed.
         m.epoch_enter();
-        assert!(sh.heap.colors().cas(hidden.granule(), Color::White, Color::Gray));
+        assert!(sh
+            .heap
+            .colors()
+            .cas(hidden.granule(), Color::White, Color::Gray));
 
         let sh2 = Arc::clone(&sh);
         let m2 = Arc::clone(&m);
@@ -182,7 +187,9 @@ mod tests {
     #[test]
     fn non_generational_trace_uses_allocation_color() {
         let sh = GcShared::new(
-            GcConfig::non_generational().with_max_heap(1 << 20).with_initial_heap(1 << 20),
+            GcConfig::non_generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20),
         );
         let mut cx = CycleCx::new(&sh);
         sh.colors.toggle(); // allocation Yellow, clear White

@@ -123,7 +123,10 @@ impl GcShared {
                 }
                 _object_color => {
                     let obj = ObjectRef::from_granule(g);
-                    let raw = self.heap.arena().load_word(obj.word(), std::sync::atomic::Ordering::Acquire);
+                    let raw = self
+                        .heap
+                        .arena()
+                        .load_word(obj.word(), std::sync::atomic::Ordering::Acquire);
                     if !Header::is_valid(raw) {
                         out.push(HeapViolation::BadHeader { granule: g });
                         g += 1;
@@ -145,7 +148,10 @@ impl GcShared {
         }
 
         // Pass 2: every reference slot targets a live object start.
-        let is_gen_simple = matches!(self.config.mode, Mode::Generational(crate::config::Promotion::Simple));
+        let is_gen_simple = matches!(
+            self.config.mode,
+            Mode::Generational(crate::config::Promotion::Simple)
+        );
         for &obj in &live_starts {
             let header = self.heap.arena().header(obj);
             let from_color = colors.get(obj.granule());
@@ -156,7 +162,11 @@ impl GcShared {
                 }
                 let tg = target.granule();
                 if tg >= end || !colors.get(tg).is_object() {
-                    out.push(HeapViolation::DanglingReference { from: obj, slot, to: target });
+                    out.push(HeapViolation::DanglingReference {
+                        from: obj,
+                        slot,
+                        to: target,
+                    });
                     continue;
                 }
                 // Inter-generational invariant (simple promotion only:
@@ -167,7 +177,11 @@ impl GcShared {
                     && matches!(colors.get(tg), Color::White | Color::Yellow)
                     && !self.cards.is_dirty(self.cards.card_of_byte(obj.byte()))
                 {
-                    out.push(HeapViolation::MissedIntergenPointer { from: obj, slot, to: target });
+                    out.push(HeapViolation::MissedIntergenPointer {
+                        from: obj,
+                        slot,
+                        to: target,
+                    });
                 }
             }
         }
@@ -201,14 +215,19 @@ mod tests {
     use otf_heap::ObjShape;
 
     fn setup() -> GcShared {
-        GcShared::new(GcConfig::generational().with_max_heap(1 << 20).with_initial_heap(1 << 20))
+        GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20),
+        )
     }
 
     fn alloc(sh: &GcShared, refs: usize) -> ObjectRef {
         let shape = ObjShape::new(refs, 1);
         let n = shape.size_granules() as u32;
         let c = sh.heap.alloc_chunk(n, n).unwrap();
-        sh.heap.install_object(c.start as usize, &shape, sh.colors.allocation_color())
+        sh.heap
+            .install_object(c.start as usize, &shape, sh.colors.allocation_color())
     }
 
     #[test]
@@ -246,7 +265,8 @@ mod tests {
         sh.heap.colors().set(b.granule(), Color::Free);
         let v = sh.verify_heap();
         assert!(
-            v.iter().any(|x| matches!(x, HeapViolation::DanglingReference { .. })),
+            v.iter()
+                .any(|x| matches!(x, HeapViolation::DanglingReference { .. })),
             "{v:?}"
         );
     }
@@ -261,7 +281,8 @@ mod tests {
         // No card mark: the verifier must flag it...
         let v = sh.verify_heap();
         assert!(
-            v.iter().any(|x| matches!(x, HeapViolation::MissedIntergenPointer { .. })),
+            v.iter()
+                .any(|x| matches!(x, HeapViolation::MissedIntergenPointer { .. })),
             "{v:?}"
         );
         // ...and marking the card fixes it.
@@ -277,7 +298,8 @@ mod tests {
         sh.heap.free_chunk(otf_heap::Chunk::new(a.raw() / 16, 1));
         let v = sh.verify_heap();
         assert!(
-            v.iter().any(|x| matches!(x, HeapViolation::FreeChunkOverObject { .. })),
+            v.iter()
+                .any(|x| matches!(x, HeapViolation::FreeChunkOverObject { .. })),
             "{v:?}"
         );
     }

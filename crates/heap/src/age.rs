@@ -26,7 +26,9 @@ impl AgeTable {
     pub fn new(granules: usize) -> AgeTable {
         let mut v = Vec::with_capacity(granules);
         v.resize_with(granules, || AtomicU8::new(0));
-        AgeTable { bytes: v.into_boxed_slice() }
+        AgeTable {
+            bytes: v.into_boxed_slice(),
+        }
     }
 
     /// Number of granules covered.

@@ -47,7 +47,10 @@ impl CardTable {
         let cards = heap_bytes.div_ceil(card_size);
         let mut v = Vec::with_capacity(cards);
         v.resize_with(cards, || AtomicU8::new(CLEAN));
-        CardTable { bytes: v.into_boxed_slice(), shift: card_size.trailing_zeros() }
+        CardTable {
+            bytes: v.into_boxed_slice(),
+            shift: card_size.trailing_zeros(),
+        }
     }
 
     /// The card size in bytes.

@@ -68,7 +68,10 @@ impl Color {
     /// object color).
     #[inline]
     pub fn is_object(self) -> bool {
-        matches!(self, Color::White | Color::Yellow | Color::Gray | Color::Black)
+        matches!(
+            self,
+            Color::White | Color::Yellow | Color::Gray | Color::Black
+        )
     }
 }
 
@@ -97,7 +100,9 @@ impl ColorTable {
     pub fn new(granules: usize) -> ColorTable {
         let mut v = Vec::with_capacity(granules);
         v.resize_with(granules, || AtomicU8::new(Color::Free as u8));
-        ColorTable { bytes: v.into_boxed_slice() }
+        ColorTable {
+            bytes: v.into_boxed_slice(),
+        }
     }
 
     /// Number of granules covered.
@@ -244,7 +249,14 @@ mod tests {
 
     #[test]
     fn color_byte_round_trip() {
-        for c in [Color::Free, Color::Interior, Color::White, Color::Yellow, Color::Gray, Color::Black] {
+        for c in [
+            Color::Free,
+            Color::Interior,
+            Color::White,
+            Color::Yellow,
+            Color::Gray,
+            Color::Black,
+        ] {
             assert_eq!(Color::from_byte(c as u8), c);
         }
     }

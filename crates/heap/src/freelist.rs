@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use otf_support::sync::Mutex;
 
 /// A free chunk: `len` contiguous free granules starting at granule
 /// `start`.
@@ -113,7 +113,9 @@ impl Default for FreeLists {
 impl FreeLists {
     /// Creates an empty pool.
     pub fn new() -> FreeLists {
-        FreeLists { inner: Mutex::new(Pool::default()) }
+        FreeLists {
+            inner: Mutex::new(Pool::default()),
+        }
     }
 
     /// Inserts a free chunk, merging it with adjacent free space.
@@ -142,7 +144,10 @@ impl FreeLists {
     ///
     /// Panics if `min == 0` or `preferred < min`.
     pub fn alloc(&self, min: u32, preferred: u32) -> Option<Chunk> {
-        assert!(min > 0 && preferred >= min, "bad alloc request {min}/{preferred}");
+        assert!(
+            min > 0 && preferred >= min,
+            "bad alloc request {min}/{preferred}"
+        );
         let mut p = self.inner.lock();
         // Best fit at the preferred size…
         if let Some((&(len, start), ())) = p.by_size.range((preferred, 0)..).next() {
@@ -169,7 +174,13 @@ impl FreeLists {
     /// The largest available chunk length (diagnostics / fragmentation
     /// measurements).
     pub fn largest_chunk(&self) -> u32 {
-        self.inner.lock().by_size.keys().next_back().map(|&(len, _)| len).unwrap_or(0)
+        self.inner
+            .lock()
+            .by_size
+            .keys()
+            .next_back()
+            .map(|&(len, _)| len)
+            .unwrap_or(0)
     }
 
     /// Number of distinct chunks (diagnostics).
@@ -179,14 +190,18 @@ impl FreeLists {
 
     /// A copy of every chunk currently in the pool (diagnostics).
     pub fn snapshot(&self) -> Vec<Chunk> {
-        self.inner.lock().by_start.iter().map(|(&s, &l)| Chunk::new(s, l)).collect()
+        self.inner
+            .lock()
+            .by_start
+            .iter()
+            .map(|(&s, &l)| Chunk::new(s, l))
+            .collect()
     }
 
     /// Removes and returns every chunk (test/diagnostic helper).
     pub fn drain_all(&self) -> Vec<Chunk> {
         let mut p = self.inner.lock();
-        let out: Vec<Chunk> =
-            p.by_start.iter().map(|(&s, &l)| Chunk::new(s, l)).collect();
+        let out: Vec<Chunk> = p.by_start.iter().map(|(&s, &l)| Chunk::new(s, l)).collect();
         p.by_start.clear();
         p.by_size.clear();
         p.free_granules = 0;
@@ -226,7 +241,11 @@ mod tests {
         f.insert(Chunk::new(0, 50));
         f.insert(Chunk::new(100, 10));
         let c = f.alloc(10, 10).unwrap();
-        assert_eq!(c, Chunk::new(100, 10), "should pick the exact fit, not split the big one");
+        assert_eq!(
+            c,
+            Chunk::new(100, 10),
+            "should pick the exact fit, not split the big one"
+        );
     }
 
     #[test]
@@ -245,7 +264,11 @@ mod tests {
         f.insert(Chunk::new(0, 3));
         f.insert(Chunk::new(100, 30));
         let c = f.alloc(2, 64).unwrap();
-        assert_eq!(c, Chunk::new(100, 30), "largest ≥ min when nothing ≥ preferred");
+        assert_eq!(
+            c,
+            Chunk::new(100, 30),
+            "largest ≥ min when nothing ≥ preferred"
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ pub struct PageTracker {
 impl PageTracker {
     /// Creates a tracker for a heap of `arena_bytes` with side tables of
     /// the given byte sizes.
-    pub fn new(arena_bytes: usize, color_bytes: usize, card_bytes: usize, age_bytes: usize) -> PageTracker {
+    pub fn new(
+        arena_bytes: usize,
+        color_bytes: usize,
+        card_bytes: usize,
+        age_bytes: usize,
+    ) -> PageTracker {
         let arena_pages = arena_bytes.div_ceil(PAGE);
         let color_pages = color_bytes.div_ceil(PAGE);
         let card_pages = card_bytes.div_ceil(PAGE);

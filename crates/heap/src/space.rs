@@ -162,7 +162,8 @@ impl HeapSpace {
     /// heap or triggers a collection.
     pub fn alloc_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
         if let Some(c) = self.freelists.alloc(min, preferred) {
-            self.used_granules.fetch_add(c.len as usize, Ordering::Relaxed);
+            self.used_granules
+                .fetch_add(c.len as usize, Ordering::Relaxed);
             return Some(c);
         }
         // Bump the frontier inside the committed region.
@@ -175,10 +176,16 @@ impl HeapSpace {
             let take = (preferred as usize).min(committed - cur).max(min as usize) as u32;
             if self
                 .frontier
-                .compare_exchange(cur, cur + take as usize, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    cur,
+                    cur + take as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
-                self.used_granules.fetch_add(take as usize, Ordering::Relaxed);
+                self.used_granules
+                    .fetch_add(take as usize, Ordering::Relaxed);
                 return Some(Chunk::new(cur as u32, take));
             }
         }
@@ -189,7 +196,8 @@ impl HeapSpace {
     /// color table.
     pub fn free_chunk(&self, chunk: Chunk) {
         debug_assert!(chunk.len > 0);
-        self.used_granules.fetch_sub(chunk.len as usize, Ordering::Relaxed);
+        self.used_granules
+            .fetch_sub(chunk.len as usize, Ordering::Relaxed);
         self.freelists.insert(chunk);
     }
 
@@ -237,7 +245,8 @@ impl HeapSpace {
         self.ages.set(start, INFANT_AGE);
         self.colors.set(start, color); // release: publishes the object
         self.objects_allocated.fetch_add(1, Ordering::Relaxed);
-        self.bytes_allocated.fetch_add((size * GRANULE) as u64, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add((size * GRANULE) as u64, Ordering::Relaxed);
         obj
     }
 
@@ -261,7 +270,11 @@ impl HeapSpace {
             Color::Interior => ParseStep::Interior,
             color => {
                 let obj = ObjectRef::from_granule(g);
-                ParseStep::Object { obj, color, header: self.arena.header(obj) }
+                ParseStep::Object {
+                    obj,
+                    color,
+                    header: self.arena.header(obj),
+                }
             }
         }
     }
@@ -364,7 +377,8 @@ mod tests {
     fn freelist_preferred_over_frontier() {
         let h = small_heap();
         let c = h.alloc_chunk(4, 4).unwrap();
-        h.colors().fill(c.start as usize, c.len as usize, Color::Free);
+        h.colors()
+            .fill(c.start as usize, c.len as usize, Color::Free);
         h.free_chunk(c);
         let c2 = h.alloc_chunk(2, 2).unwrap();
         assert_eq!(c2.start, 1); // reused, not frontier
@@ -400,7 +414,9 @@ mod tests {
     fn install_publishes_object() {
         let h = small_heap();
         let shape = ObjShape::new(2, 1).with_class(3);
-        let c = h.alloc_chunk(shape.size_granules() as u32, shape.size_granules() as u32).unwrap();
+        let c = h
+            .alloc_chunk(shape.size_granules() as u32, shape.size_granules() as u32)
+            .unwrap();
         let obj = h.install_object(c.start as usize, &shape, Color::White);
         assert_eq!(h.colors().get(obj.granule()), Color::White);
         assert_eq!(h.colors().get(obj.granule() + 1), Color::Interior);

@@ -1,38 +1,47 @@
-//! Property-based tests for the heap substrate's core invariants.
+//! Randomized tests for the heap substrate's core invariants, on the
+//! deterministic `otf_support::check` harness (fixed seeds, shrink by
+//! halving).
 
-use proptest::prelude::*;
+use otf_heap::{CardTable, Chunk, Color, FreeLists, Header, HeapSpace, ObjShape, GRANULE};
+use otf_support::check::run_cases;
 
-use otf_heap::{
-    CardTable, Chunk, Color, FreeLists, HeapSpace, Header, ObjShape, GRANULE,
-};
+const CASES: u64 = 256;
 
-proptest! {
-    /// Header encode/decode is a bijection over the valid field ranges.
-    #[test]
-    fn header_round_trip(refs in 0usize..5000, data in 0usize..5000, class in 0u32..1_000_000) {
+/// Header encode/decode is a bijection over the valid field ranges.
+#[test]
+fn header_round_trip() {
+    run_cases("header_round_trip", 0x4EAD, CASES, |g| {
+        let refs = g.usize_in(0..5000);
+        let data = g.usize_in(0..5000);
+        let class = g.u32_in(0..1_000_000);
         let shape = ObjShape::new(refs, data).with_class(class);
         let h = Header::decode(shape.encode_header());
-        prop_assert_eq!(h.ref_slots(), refs);
-        prop_assert_eq!(h.class_id(), class);
-        prop_assert_eq!(h.size_granules(), shape.size_granules());
-        prop_assert_eq!(h.size_granules(), (1 + refs + data).div_ceil(2));
-    }
+        assert_eq!(h.ref_slots(), refs);
+        assert_eq!(h.class_id(), class);
+        assert_eq!(h.size_granules(), shape.size_granules());
+        assert_eq!(h.size_granules(), (1 + refs + data).div_ceil(2));
+    });
+}
 
-    /// Shape sizes are monotone and granule-rounded.
-    #[test]
-    fn shape_size_invariants(refs in 0usize..1000, data in 0usize..1000) {
+/// Shape sizes are monotone and granule-rounded.
+#[test]
+fn shape_size_invariants() {
+    run_cases("shape_size_invariants", 0x5A47, CASES, |g| {
+        let refs = g.usize_in(0..1000);
+        let data = g.usize_in(0..1000);
         let s = ObjShape::new(refs, data);
-        prop_assert!(s.size_granules() >= 1);
-        prop_assert_eq!(s.size_bytes() % GRANULE, 0);
-        prop_assert!(s.size_bytes() >= (1 + refs + data) * 8);
-        prop_assert!(s.size_bytes() < (1 + refs + data) * 8 + GRANULE);
-    }
+        assert!(s.size_granules() >= 1);
+        assert_eq!(s.size_bytes() % GRANULE, 0);
+        assert!(s.size_bytes() >= (1 + refs + data) * 8);
+        assert!(s.size_bytes() < (1 + refs + data) * 8 + GRANULE);
+    });
+}
 
-    /// Free lists conserve granules and never hand out overlapping chunks.
-    #[test]
-    fn freelist_no_overlap_and_conservation(
-        ops in prop::collection::vec((1u32..200, 1u32..400), 1..120)
-    ) {
+/// Free lists conserve granules and never hand out overlapping chunks.
+#[test]
+fn freelist_no_overlap_and_conservation() {
+    run_cases("freelist_no_overlap_and_conservation", 0xF4EE, 128, |g| {
+        let ops = g.vec_of(1..120, |g| (g.u32_in(1..200), g.u32_in(1..400)));
         let f = FreeLists::new();
         // Seed with one large region [0, 100_000).
         let total = 100_000u64;
@@ -48,41 +57,50 @@ proptest! {
                 held_granules -= c.len as u64;
                 f.insert(c);
             } else if let Some(c) = f.alloc(min, pref) {
-                prop_assert!(c.len >= min && c.len <= pref);
+                assert!(c.len >= min && c.len <= pref);
                 // No overlap with anything we already hold.
                 for h in &held {
-                    prop_assert!(c.end() <= h.start || h.end() <= c.start,
-                        "overlap: {c:?} vs {h:?}");
+                    assert!(
+                        c.end() <= h.start || h.end() <= c.start,
+                        "overlap: {c:?} vs {h:?}"
+                    );
                 }
                 held_granules += c.len as u64;
                 held.push(c);
             }
-            prop_assert_eq!(f.free_granules() + held_granules, total);
+            assert_eq!(f.free_granules() + held_granules, total);
         }
-    }
+    });
+}
 
-    /// Card geometry: every byte maps into exactly one card whose granule
-    /// range covers it.
-    #[test]
-    fn card_geometry(shift in 4u32..13, byte in 0usize..(1 << 20)) {
+/// Card geometry: every byte maps into exactly one card whose granule
+/// range covers it.
+#[test]
+fn card_geometry() {
+    run_cases("card_geometry", 0xCA4D, CASES, |g| {
+        let shift = g.u32_in(4..13);
+        let byte = g.usize_in(0..1 << 20);
         let card_size = 1usize << shift;
         let t = CardTable::new(1 << 20, card_size);
         let card = t.card_of_byte(byte);
         let (gs, ge) = t.granule_range(card);
         let granule = byte / GRANULE;
-        prop_assert!(gs <= granule && granule < ge);
-        prop_assert_eq!(ge - gs, card_size / GRANULE);
+        assert!(gs <= granule && granule < ge);
+        assert_eq!(ge - gs, card_size / GRANULE);
         // Marking the byte dirties exactly that card.
         t.mark_byte(byte);
-        prop_assert!(t.is_dirty(card));
-        prop_assert_eq!(t.count_dirty(t.len()), 1);
-    }
+        assert!(t.is_dirty(card));
+        assert_eq!(t.count_dirty(t.len()), 1);
+    });
+}
 
-    /// The color table is a faithful parse map: installing random objects
-    /// back-to-back and walking the heap sees exactly those objects, in
-    /// address order, with correct headers.
-    #[test]
-    fn heap_parse_integrity(shapes in prop::collection::vec((0usize..6, 0usize..10), 1..60)) {
+/// The color table is a faithful parse map: installing random objects
+/// back-to-back and walking the heap sees exactly those objects, in
+/// address order, with correct headers.
+#[test]
+fn heap_parse_integrity() {
+    run_cases("heap_parse_integrity", 0x9A45E, 128, |g| {
+        let shapes = g.vec_of(1..60, |g| (g.usize_in(0..6), g.usize_in(0..10)));
         let heap = HeapSpace::new(1 << 20, 1 << 20);
         let mut installed = Vec::new();
         for (refs, data) in shapes {
@@ -96,26 +114,31 @@ proptest! {
         heap.for_each_object_start(1, heap.frontier_granule(), |obj, color, header| {
             seen.push((obj, color, header.ref_slots(), header.class_id()));
         });
-        prop_assert_eq!(seen.len(), installed.len());
+        assert_eq!(seen.len(), installed.len());
         for ((obj, shape), (sobj, scolor, srefs, sclass)) in installed.iter().zip(&seen) {
-            prop_assert_eq!(obj, sobj);
-            prop_assert_eq!(*scolor, Color::White);
-            prop_assert_eq!(shape.ref_slots(), *srefs);
-            prop_assert_eq!(shape.class_id(), *sclass);
+            assert_eq!(obj, sobj);
+            assert_eq!(*scolor, Color::White);
+            assert_eq!(shape.ref_slots(), *srefs);
+            assert_eq!(shape.class_id(), *sclass);
         }
-    }
+    });
+}
 
-    /// `object_end` (interior scanning) always agrees with the header.
-    #[test]
-    fn object_end_matches_header(shapes in prop::collection::vec((0usize..4, 0usize..12), 1..40)) {
+/// `object_end` (interior scanning) always agrees with the header.
+#[test]
+fn object_end_matches_header() {
+    run_cases("object_end_matches_header", 0x0B1E, 128, |g| {
+        let shapes = g.vec_of(1..40, |g| (g.usize_in(0..4), g.usize_in(0..12)));
         let heap = HeapSpace::new(1 << 20, 1 << 20);
         for (refs, data) in shapes {
             let shape = ObjShape::new(refs, data);
             let n = shape.size_granules() as u32;
             let chunk = heap.alloc_chunk(n, n).unwrap();
             let obj = heap.install_object(chunk.start as usize, &shape, Color::Yellow);
-            let end = heap.colors().object_end(obj.granule(), heap.frontier_granule());
-            prop_assert_eq!(end - obj.granule(), shape.size_granules());
+            let end = heap
+                .colors()
+                .object_end(obj.granule(), heap.frontier_granule());
+            assert_eq!(end - obj.granule(), shape.size_granules());
         }
-    }
+    });
 }

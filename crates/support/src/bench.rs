@@ -1,0 +1,213 @@
+//! A minimal statistical micro-benchmark harness — the workspace's
+//! `criterion` replacement.
+//!
+//! Each benchmark is warmed up, then measured over `samples` timed
+//! samples; the harness reports the **median** and **p95** nanoseconds
+//! per iteration (medians are robust to the scheduler noise that
+//! dominates short concurrent-collector measurements).  Cheap operations
+//! are auto-calibrated so each sample runs long enough for the clock to
+//! resolve; expensive operations (whole collection cycles) use
+//! [`Harness::bench_once`], where every sample is a single invocation.
+//!
+//! Set `OTF_BENCH_QUICK=1` to cut warmup and sample counts for smoke
+//! runs.
+
+use std::time::{Duration, Instant};
+
+/// Aggregated timing for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// 95th-percentile time per iteration.
+    pub p95: Duration,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The benchmark runner: accumulates named results and prints a summary.
+#[derive(Debug)]
+pub struct Harness {
+    warmup: Duration,
+    samples: usize,
+    min_sample_time: Duration,
+    results: Vec<(String, Stats)>,
+}
+
+impl Harness {
+    /// A harness with the default budget (or the quick budget when
+    /// `OTF_BENCH_QUICK` is set).
+    pub fn new() -> Harness {
+        if std::env::var_os("OTF_BENCH_QUICK").is_some() {
+            Harness {
+                warmup: Duration::from_millis(20),
+                samples: 10,
+                min_sample_time: Duration::from_millis(2),
+                results: Vec::new(),
+            }
+        } else {
+            Harness {
+                warmup: Duration::from_millis(200),
+                samples: 30,
+                min_sample_time: Duration::from_millis(10),
+                results: Vec::new(),
+            }
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn with_samples(mut self, samples: usize) -> Harness {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Benchmarks a cheap operation: calibrates an inner iteration count
+    /// so each sample runs at least `min_sample_time`, then times
+    /// `samples` samples.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup, measuring the rate as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let iters = (self.min_sample_time.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            times.push(t.elapsed() / iters as u32);
+        }
+        self.record(name, times, iters);
+    }
+
+    /// Benchmarks an expensive operation: each sample is exactly one
+    /// invocation (no calibration loop), after a single warmup call.
+    pub fn bench_once<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        self.record(name, times, 1);
+    }
+
+    fn record(&mut self, name: &str, mut times: Vec<Duration>, iters: u64) {
+        times.sort_unstable();
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let stats = Stats {
+            median: percentile(&times, 0.5),
+            p95: percentile(&times, 0.95),
+            mean,
+            samples: times.len(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{name:<48} median {:>12}  p95 {:>12}  ({} samples x {} iters)",
+            fmt_ns(stats.median),
+            fmt_ns(stats.p95),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        self.results.push((name.to_string(), stats));
+    }
+
+    /// All recorded results, in execution order.
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.results
+    }
+
+    /// Prints the closing summary table.
+    pub fn finish(self) {
+        println!("\n== {} benchmarks ==", self.results.len());
+        for (name, s) in &self.results {
+            println!("{name:<48} {:>12} median", fmt_ns(s.median));
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Harness {
+        Harness {
+            warmup: Duration::from_millis(1),
+            samples: 5,
+            min_sample_time: Duration::from_micros(50),
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bench_records_ordered_stats() {
+        let mut h = tiny();
+        h.bench("noop", || 1 + 1);
+        let (name, s) = &h.results()[0];
+        assert_eq!(name, "noop");
+        assert!(s.median <= s.p95);
+        assert_eq!(s.samples, 5);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn bench_once_single_invocation_samples() {
+        let mut h = tiny();
+        let mut calls = 0u32;
+        h.bench_once("sleepless", || calls += 1);
+        // 1 warmup + 5 samples.
+        assert_eq!(calls, 6);
+        assert_eq!(h.results()[0].1.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn percentile_picks_endpoints() {
+        let v: Vec<Duration> = (1..=10).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&v, 0.0), Duration::from_nanos(1));
+        assert_eq!(percentile(&v, 1.0), Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_ns(Duration::from_micros(500)).ends_with("us"));
+        assert!(fmt_ns(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_ns(Duration::from_secs(20)).ends_with("s"));
+    }
+}

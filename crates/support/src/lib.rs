@@ -1,0 +1,31 @@
+//! # otf-support — the collector's zero-dependency substrate
+//!
+//! Everything in this workspace builds offline against `std` alone; this
+//! crate supplies the few primitives the collector and its harnesses used
+//! to pull from external crates:
+//!
+//! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`Condvar`](sync::Condvar)/
+//!   [`RwLock`](sync::RwLock) wrappers over `std::sync` with the
+//!   `parking_lot`-style guard API (no `.unwrap()` at every lock site).
+//! * [`queue`] — [`SegQueue`](queue::SegQueue), a mutex-sharded MPMC
+//!   injector queue for the gray-object work list.
+//! * [`rand`] — a seedable SplitMix64-seeded xoshiro256++ PRNG behind the
+//!   small [`RngExt`](rand::RngExt)/[`SeedableRng`](rand::SeedableRng)
+//!   API the workloads consume.
+//! * [`check`] — deterministic randomized testing: a seeded case
+//!   generator plus shrink-by-halving, replacing `proptest`.
+//! * [`bench`] — a minimal statistical micro-benchmark harness (warmup,
+//!   N samples, median/p95), replacing `criterion`.
+//!
+//! The paper's own system (Domani, Kolodner & Petrank, PLDI 2000) was
+//! self-contained inside the JVM, and the DLG lineage it extends needs
+//! nothing beyond native synchronization primitives — this crate keeps
+//! the reproduction equally self-contained.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod queue;
+pub mod rand;
+pub mod sync;

@@ -1,0 +1,183 @@
+//! A mutex-sharded MPMC injector queue — the gray-object work list.
+//!
+//! Many mutators push (after winning the gray-coloring CAS); the
+//! collector pops.  Contention is spread across `SHARDS` independent
+//! locked deques; pushers pick a shard round-robin, poppers scan from a
+//! rotating start so no shard starves.
+//!
+//! A global length counter makes emptiness checks **conservative** for
+//! the trace-termination protocol: the counter is incremented *before*
+//! the item is inserted into its shard and decremented only *after* an
+//! item has been removed, so once a `push` call has returned, no
+//! concurrent [`is_empty`](SegQueue::is_empty) can report the queue
+//! empty while the item is still present.  (A `pop` may transiently
+//! return `None` while an in-flight push holds the counter high; the
+//! collector's termination loop re-checks `is_empty` and retries, which
+//! is exactly the discipline the epoch protocol already imposes.)
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::Mutex;
+
+const SHARDS: usize = 8;
+
+/// An unbounded MPMC queue (named for the `crossbeam` type it replaces).
+pub struct SegQueue<T> {
+    shards: [Mutex<VecDeque<T>>; SHARDS],
+    /// Items logically in the queue (incremented pre-insert).
+    len: AtomicUsize,
+    /// Round-robin cursor for pushers.
+    push_cursor: AtomicUsize,
+    /// Rotating scan start for poppers.
+    pop_cursor: AtomicUsize,
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> SegQueue<T> {
+        SegQueue {
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            len: AtomicUsize::new(0),
+            push_cursor: AtomicUsize::new(0),
+            pop_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Appends `value` to the queue.
+    pub fn push(&self, value: T) {
+        let shard = self.push_cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        self.len.fetch_add(1, Ordering::SeqCst);
+        self.shards[shard].lock().push_back(value);
+    }
+
+    /// Removes and returns one item, or `None` if every shard is empty.
+    pub fn pop(&self) -> Option<T> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let start = self.pop_cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..SHARDS {
+            let shard = (start + i) % SHARDS;
+            if let Some(v) = self.shards[shard].lock().pop_front() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Whether the queue is (conservatively) empty: `false` whenever any
+    /// completed push has not yet been popped.
+    pub fn is_empty(&self) -> bool {
+        self.len.load(Ordering::SeqCst) == 0
+    }
+
+    /// Number of items logically in the queue.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegQueue")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_single() {
+        let q = SegQueue::new();
+        assert!(q.is_empty());
+        q.push(42);
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(42));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drains_all_items_across_shards() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        let mut got: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER: usize = 5_000;
+        let q = Arc::new(SegQueue::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push(p * PER + i);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || loop {
+                match q.pop() {
+                    Some(v) => {
+                        sum.fetch_add(v + 1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if done.load(Ordering::SeqCst) == PRODUCERS && q.is_empty() {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = PRODUCERS * PER;
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2 + n);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn completed_push_is_never_invisible() {
+        // is_empty must be false from the instant push returns.
+        let q = Arc::new(SegQueue::new());
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            for i in 0..1_000 {
+                q2.push(i);
+                assert!(!q2.is_empty());
+                q2.pop();
+            }
+        });
+        h.join().unwrap();
+    }
+}

@@ -34,7 +34,11 @@ pub struct Anagram {
 impl Anagram {
     /// The default configuration (≈ 190 MB of string churn).
     pub fn new() -> Anagram {
-        Anagram { dict_size: 120_000, inputs: 50_000, permutations_per_input: 24 }
+        Anagram {
+            dict_size: 120_000,
+            inputs: 50_000,
+            permutations_per_input: 24,
+        }
     }
 
     /// Scales the amount of work (live-set sizes stay fixed so the
@@ -71,7 +75,12 @@ impl Workload for Anagram {
             m.write_ref(dict, c, chunk);
             for i in 0..DICT_CHUNK.min(self.dict_size - c * DICT_CHUNK) {
                 let word = alloc_data(m, WORD_PAYLOAD);
-                fill_data(m, word, WORD_PAYLOAD, 0xD1C7_0000 + (c * DICT_CHUNK + i) as u64);
+                fill_data(
+                    m,
+                    word,
+                    WORD_PAYLOAD,
+                    0xD1C7_0000 + (c * DICT_CHUNK + i) as u64,
+                );
                 m.write_ref(chunk, i, word);
             }
             m.cooperate();

@@ -33,7 +33,11 @@ pub struct Compress {
 impl Compress {
     /// The default configuration.
     pub fn new() -> Compress {
-        Compress { segments: 300, window: 28, work_per_segment: 400_000 }
+        Compress {
+            segments: 300,
+            window: 28,
+            work_per_segment: 400_000,
+        }
     }
 
     /// Scales the amount of work.
@@ -82,7 +86,9 @@ impl Workload for Compress {
             for step in 0..self.work_per_segment {
                 let idx = (hash as usize).wrapping_add(step * 31) % BUFFER_WORDS;
                 let v = m.read_data(buf, idx);
-                hash = hash.wrapping_mul(0x100_0000_01B3).wrapping_add(v ^ step as u64);
+                hash = hash
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(v ^ step as u64);
                 if step % 4096 == 0 {
                     m.write_data(buf, idx, hash);
                     m.cooperate();

@@ -13,7 +13,7 @@
 //! Generations are roughly performance-neutral (−0.9%/+0.7%, Figure 9).
 
 use otf_gc::{Mutator, ObjectRef};
-use rand::RngExt;
+use otf_support::rand::RngExt;
 
 use crate::toolkit::{alloc_array, alloc_data, alloc_node, fill_data, mix, pick, rng_for};
 use crate::Workload;
@@ -35,7 +35,11 @@ pub struct Db {
 impl Db {
     /// The default configuration.
     pub fn new() -> Db {
-        Db { records: 40_000, operations: 2_500_000, update_percent: 3 }
+        Db {
+            records: 40_000,
+            operations: 2_500_000,
+            update_percent: 3,
+        }
     }
 
     /// Scales the amount of work.

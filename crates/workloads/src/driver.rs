@@ -71,7 +71,10 @@ pub fn run_copies(
                 s.spawn(move || run_workload(*w, config, seed.wrapping_add(c as u64)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("workload copy panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload copy panicked"))
+            .collect()
     });
     (start.elapsed(), results)
 }

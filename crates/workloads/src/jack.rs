@@ -40,7 +40,11 @@ impl Jack {
     /// and dead immediately after (the paper's Figure 12: fulls free 90.8%
     /// of jack's objects, nearly the same fraction partials do).
     pub fn new() -> Jack {
-        Jack { passes: 18, tokens_per_pass: 20_000, temps_per_pass: 300_000 }
+        Jack {
+            passes: 18,
+            tokens_per_pass: 20_000,
+            temps_per_pass: 300_000,
+        }
     }
 
     /// Scales the amount of work.
@@ -76,7 +80,11 @@ impl Workload for Jack {
                 m.write_ref(stream, c, chunk);
                 for i in 0..TOKEN_CHUNK.min(self.tokens_per_pass - c * TOKEN_CHUNK) {
                     let token = alloc_node(m, 1, 1);
-                    m.write_data(token, 0, mix((pass * 1_000_000 + c * TOKEN_CHUNK + i) as u64, 96));
+                    m.write_data(
+                        token,
+                        0,
+                        mix((pass * 1_000_000 + c * TOKEN_CHUNK + i) as u64, 96),
+                    );
                     // Store the token before allocating its lexeme: the
                     // allocation is a safe point.
                     m.write_ref(chunk, i, token);

@@ -20,7 +20,7 @@
 //! inside the young budget, cold slots only after it.
 
 use otf_gc::{Mutator, ObjectRef};
-use rand::RngExt;
+use otf_support::rand::RngExt;
 
 use crate::toolkit::{alloc_array, alloc_data, alloc_node, mix, pick, rng_for};
 use crate::Workload;
@@ -52,7 +52,12 @@ impl Jess {
     /// residue lives ≈ 9 MB of allocation — past the 4 MB young budget,
     /// so it tenures and then dies, reclaimable only by full collections.
     pub fn new() -> Jess {
-        Jess { buckets: 2500, asserts_per_round: 4000, rounds: 600, cold_percent: 3 }
+        Jess {
+            buckets: 2500,
+            asserts_per_round: 4000,
+            rounds: 600,
+            cold_percent: 3,
+        }
     }
 
     /// Scales the amount of work.

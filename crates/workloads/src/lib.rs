@@ -142,7 +142,10 @@ mod tests {
         use std::time::Duration;
         let i = driver::percent_improvement(Duration::from_secs(4), Duration::from_secs(3));
         assert!((i - 25.0).abs() < 1e-9);
-        assert_eq!(driver::percent_improvement(Duration::ZERO, Duration::ZERO), 0.0);
+        assert_eq!(
+            driver::percent_improvement(Duration::ZERO, Duration::ZERO),
+            0.0
+        );
     }
 
     #[test]

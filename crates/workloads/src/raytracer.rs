@@ -39,12 +39,26 @@ pub struct RayTracer {
 impl RayTracer {
     /// `_227_mtrt`: 200×200, 2 threads.
     pub fn mtrt() -> RayTracer {
-        RayTracer { threads: 2, width: 200, height: 200, scene_triangles: 80_000, bounces: 6, frames: 8 }
+        RayTracer {
+            threads: 2,
+            width: 200,
+            height: 200,
+            scene_triangles: 80_000,
+            bounces: 6,
+            frames: 8,
+        }
     }
 
     /// The multithreaded variant: 300×300, `threads` rendering threads.
     pub fn multithreaded(threads: usize) -> RayTracer {
-        RayTracer { threads, width: 300, height: 300, scene_triangles: 80_000, bounces: 6, frames: 3 }
+        RayTracer {
+            threads,
+            width: 300,
+            height: 300,
+            scene_triangles: 80_000,
+            bounces: 6,
+            frames: 3,
+        }
     }
 
     /// Scales the amount of work (frames rendered, then rows).
@@ -109,35 +123,35 @@ impl Workload for RayTracer {
         // records, all dead by the end of the pixel.
         let mut image_checksum = 0u64;
         for _frame in 0..self.frames {
-        for y in 0..self.height {
-            // A row buffer that lives for the row.
-            let row = alloc_data(m, self.width);
-            m.root_push(row);
-            for x in 0..self.width {
-                let ray = alloc_node(m, 1, 4);
-                m.root_push(ray);
-                m.write_data(ray, 0, (x + y * self.width) as u64);
-                let mut color = 0u64;
-                for _bounce in 0..self.bounces {
-                    // Intersect against a few candidate triangles.
-                    let hit = alloc_data(m, 2);
-                    let t = pick(&mut rng, my_triangles);
-                    let chunk = m.read_ref(scene, t / SCENE_CHUNK);
-                    let tri = m.read_ref(chunk, t % SCENE_CHUNK);
-                    let vert = m.read_ref(tri, t % 3);
-                    color = color.wrapping_add(mix(m.read_data(vert, 0), 128));
-                    m.write_data(hit, 0, color);
-                    // Chain the newest hit record into the ray (fresh
-                    // object write — barrier exercised, no old-gen dirt).
-                    m.write_ref(ray, 0, hit);
+            for y in 0..self.height {
+                // A row buffer that lives for the row.
+                let row = alloc_data(m, self.width);
+                m.root_push(row);
+                for x in 0..self.width {
+                    let ray = alloc_node(m, 1, 4);
+                    m.root_push(ray);
+                    m.write_data(ray, 0, (x + y * self.width) as u64);
+                    let mut color = 0u64;
+                    for _bounce in 0..self.bounces {
+                        // Intersect against a few candidate triangles.
+                        let hit = alloc_data(m, 2);
+                        let t = pick(&mut rng, my_triangles);
+                        let chunk = m.read_ref(scene, t / SCENE_CHUNK);
+                        let tri = m.read_ref(chunk, t % SCENE_CHUNK);
+                        let vert = m.read_ref(tri, t % 3);
+                        color = color.wrapping_add(mix(m.read_data(vert, 0), 128));
+                        m.write_data(hit, 0, color);
+                        // Chain the newest hit record into the ray (fresh
+                        // object write — barrier exercised, no old-gen dirt).
+                        m.write_ref(ray, 0, hit);
+                    }
+                    m.root_pop();
+                    m.write_data(row, x, color);
+                    image_checksum = image_checksum.wrapping_add(color);
                 }
                 m.root_pop();
-                m.write_data(row, x, color);
-                image_checksum = image_checksum.wrapping_add(color);
+                m.cooperate();
             }
-            m.root_pop();
-            m.cooperate();
-        }
         }
         std::hint::black_box(image_checksum);
         m.root_pop();

@@ -1,8 +1,7 @@
 //! Shared building blocks for the synthetic workloads.
 
 use otf_gc::{Mutator, ObjShape, ObjectRef};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use otf_support::rand::{RngExt, SeedableRng, StdRng};
 
 /// Class id for reference-array objects.
 pub const CLASS_ARRAY: u32 = 1;
@@ -18,7 +17,8 @@ pub const CLASS_NODE: u32 = 3;
 /// Panics on out-of-memory — the workloads are sized to fit the paper's
 /// 32 MB heap, so exhaustion is a configuration error.
 pub fn alloc_array(m: &mut Mutator, len: usize) -> ObjectRef {
-    m.alloc(&ObjShape::new(len, 0).with_class(CLASS_ARRAY)).expect("workload out of memory")
+    m.alloc(&ObjShape::new(len, 0).with_class(CLASS_ARRAY))
+        .expect("workload out of memory")
 }
 
 /// Allocates a pure data object of `words` payload words.
@@ -27,7 +27,8 @@ pub fn alloc_array(m: &mut Mutator, len: usize) -> ObjectRef {
 ///
 /// Panics on out-of-memory.
 pub fn alloc_data(m: &mut Mutator, words: usize) -> ObjectRef {
-    m.alloc(&ObjShape::new(0, words).with_class(CLASS_DATA)).expect("workload out of memory")
+    m.alloc(&ObjShape::new(0, words).with_class(CLASS_DATA))
+        .expect("workload out of memory")
 }
 
 /// Allocates a node with `refs` reference slots and `words` data words.
@@ -36,12 +37,16 @@ pub fn alloc_data(m: &mut Mutator, words: usize) -> ObjectRef {
 ///
 /// Panics on out-of-memory.
 pub fn alloc_node(m: &mut Mutator, refs: usize, words: usize) -> ObjectRef {
-    m.alloc(&ObjShape::new(refs, words).with_class(CLASS_NODE)).expect("workload out of memory")
+    m.alloc(&ObjShape::new(refs, words).with_class(CLASS_NODE))
+        .expect("workload out of memory")
 }
 
 /// A deterministic RNG for workload `seed` and stream `stream`.
 pub fn rng_for(seed: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 /// Fills the data words of `obj` with a checkable pattern derived from
@@ -57,7 +62,11 @@ pub fn fill_data(m: &mut Mutator, obj: ObjectRef, words: usize, tag: u64) {
 pub fn check_data(m: &Mutator, obj: ObjectRef, words: usize, tag: u64) {
     for i in 0..words {
         let got = m.read_data(obj, i);
-        assert_eq!(got, tag.wrapping_add(i as u64), "heap corruption in {obj} word {i}");
+        assert_eq!(
+            got,
+            tag.wrapping_add(i as u64),
+            "heap corruption in {obj} word {i}"
+        );
     }
 }
 
@@ -89,7 +98,11 @@ mod tests {
 
     #[test]
     fn allocators_tag_class_ids() {
-        let gc = Gc::new(GcConfig::generational().with_max_heap(2 << 20).with_initial_heap(2 << 20));
+        let gc = Gc::new(
+            GcConfig::generational()
+                .with_max_heap(2 << 20)
+                .with_initial_heap(2 << 20),
+        );
         let mut m = gc.mutator();
         let a = alloc_array(&mut m, 4);
         let d = alloc_data(&mut m, 4);
@@ -105,7 +118,11 @@ mod tests {
 
     #[test]
     fn fill_and_check_round_trip() {
-        let gc = Gc::new(GcConfig::generational().with_max_heap(2 << 20).with_initial_heap(2 << 20));
+        let gc = Gc::new(
+            GcConfig::generational()
+                .with_max_heap(2 << 20)
+                .with_initial_heap(2 << 20),
+        );
         let mut m = gc.mutator();
         let d = alloc_data(&mut m, 8);
         fill_data(&mut m, d, 8, 1000);

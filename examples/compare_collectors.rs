@@ -12,9 +12,7 @@
 
 use otf_gengc::gc::{CycleKind, GcConfig};
 use otf_gengc::workloads::driver::{percent_improvement, run_workload};
-use otf_gengc::workloads::{
-    Anagram, Compress, Db, Jack, Javac, Jess, RayTracer, Workload,
-};
+use otf_gengc::workloads::{Anagram, Compress, Db, Jack, Javac, Jess, RayTracer, Workload};
 
 fn pick_workload(name: &str, scale: f64) -> Box<dyn Workload> {
     match name {

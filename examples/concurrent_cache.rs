@@ -25,7 +25,9 @@ const OPS_PER_WORKER: usize = 400_000;
 
 fn main() {
     let gc = Gc::new(
-        GcConfig::generational().with_max_heap(16 << 20).with_young_size(1 << 20),
+        GcConfig::generational()
+            .with_max_heap(16 << 20)
+            .with_young_size(1 << 20),
     );
 
     // Build the shared bucket table and pin it with a global root.
@@ -99,7 +101,10 @@ fn main() {
         stats.percent_time_gc_active(),
         gc.used_bytes() / 1024
     );
-    assert!(hits.load(Ordering::Relaxed) > 0, "cache never hit — table lost?");
+    assert!(
+        hits.load(Ordering::Relaxed) > 0,
+        "cache never hit — table lost?"
+    );
     gc.shutdown();
     println!("done.");
 }

@@ -7,9 +7,7 @@
 
 use otf_gengc::gc::{CycleKind, GcConfig};
 use otf_gengc::workloads::driver::run_workload;
-use otf_gengc::workloads::{
-    Anagram, Compress, Db, Jack, Javac, Jess, RayTracer, Workload,
-};
+use otf_gengc::workloads::{Anagram, Compress, Db, Jack, Javac, Jess, RayTracer, Workload};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -44,8 +42,18 @@ fn main() {
     );
     println!(
         "{:>3} {:>7} {:>8} {:>6} {:>6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>7} {:>7}",
-        "#", "kind", "dur ms", "init", "hshk", "cards", "sweep", "traced", "igen",
-        "freed", "usedMB", "pages"
+        "#",
+        "kind",
+        "dur ms",
+        "init",
+        "hshk",
+        "cards",
+        "sweep",
+        "traced",
+        "igen",
+        "freed",
+        "usedMB",
+        "pages"
     );
     for (i, c) in r.stats.cycles.iter().enumerate() {
         println!(

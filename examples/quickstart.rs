@@ -89,8 +89,7 @@ fn main() {
         stats.percent_time_gc_active()
     );
     for kind in [CycleKind::Partial, CycleKind::Full] {
-        if let (Some(ms), Some(freed)) = (stats.avg_cycle_ms(kind), stats.avg_objects_freed(kind))
-        {
+        if let (Some(ms), Some(freed)) = (stats.avg_cycle_ms(kind), stats.avg_objects_freed(kind)) {
             println!("   avg {kind}: {ms:.2} ms, {freed:.0} objects freed");
         }
     }

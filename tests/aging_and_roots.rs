@@ -5,7 +5,9 @@ use otf_gengc::gc::{Gc, GcConfig};
 use otf_gengc::heap::{Color, ObjShape};
 
 fn tiny(cfg: GcConfig) -> GcConfig {
-    cfg.with_max_heap(8 << 20).with_initial_heap(1 << 20).with_young_size(128 << 10)
+    cfg.with_max_heap(8 << 20)
+        .with_initial_heap(1 << 20)
+        .with_young_size(128 << 10)
 }
 
 /// Forces one partial collection by allocating past the young budget and
@@ -50,7 +52,11 @@ fn aging_object_ages_then_tenures() {
         }
     }
     assert_eq!(last_age, threshold, "object should have reached tenure");
-    assert_eq!(gc.debug_color_of(obj), Color::Black, "tenured objects stay black");
+    assert_eq!(
+        gc.debug_color_of(obj),
+        Color::Black,
+        "tenured objects stay black"
+    );
     assert_eq!(m.read_data(obj, 0), 77);
     drop(m);
     gc.shutdown();
@@ -64,7 +70,11 @@ fn simple_promotion_tenures_after_one_collection() {
     m.root_push(obj);
     assert_ne!(gc.debug_color_of(obj), Color::Black);
     force_partial(&gc, &mut m);
-    assert_eq!(gc.debug_color_of(obj), Color::Black, "survive one collection ⇒ old (§3)");
+    assert_eq!(
+        gc.debug_color_of(obj),
+        Color::Black,
+        "survive one collection ⇒ old (§3)"
+    );
     drop(m);
     gc.shutdown();
 }
@@ -88,7 +98,11 @@ fn global_roots_keep_objects_alive_without_stacks() {
             force_partial(&gc, &mut m);
         }
         m.parked(|| gc.collect_full_blocking());
-        assert_eq!(m.read_data(table, 0), 1234, "global root did not protect object");
+        assert_eq!(
+            m.read_data(table, 0),
+            1234,
+            "global root did not protect object"
+        );
         assert!(m.remove_global_root(table));
         drop(m);
     }
@@ -137,12 +151,18 @@ fn stats_snapshot_is_consistent() {
     }
     m.parked(|| gc.collect_full_blocking());
     let stats = gc.stats();
-    assert_eq!(stats.cycles.len(), stats.partial_count() + stats.full_count());
+    assert_eq!(
+        stats.cycles.len(),
+        stats.partial_count() + stats.full_count()
+    );
     for c in &stats.cycles {
         // Freed + survived should roughly account for what the sweep saw.
         assert!(c.duration.as_nanos() > 0);
         assert!(c.pages_touched > 0);
-        assert!(c.used_after <= c.used_before + (4 << 20), "sweep grew the heap?");
+        assert!(
+            c.used_after <= c.used_before + (4 << 20),
+            "sweep grew the heap?"
+        );
     }
     assert!(stats.gc_active <= stats.elapsed);
     drop(m);

@@ -10,7 +10,9 @@ use otf_gengc::heap::{ObjShape, ObjectRef};
 
 /// A small heap so collections are frequent.
 fn small(cfg: GcConfig) -> GcConfig {
-    cfg.with_max_heap(4 << 20).with_initial_heap(1 << 20).with_young_size(64 << 10)
+    cfg.with_max_heap(4 << 20)
+        .with_initial_heap(1 << 20)
+        .with_young_size(64 << 10)
 }
 
 /// Builds a linked list of `n` nodes, each carrying `seed + i` in its data
@@ -37,7 +39,11 @@ fn check_list(m: &otf_gengc::gc::Mutator, head: ObjectRef, n: usize, seed: u64) 
     let mut cur = head;
     for i in 0..n {
         assert!(!cur.is_null(), "list truncated at {i}/{n}");
-        assert_eq!(m.read_data(cur, 0), seed + i as u64, "payload corrupted at {i}");
+        assert_eq!(
+            m.read_data(cur, 0),
+            seed + i as u64,
+            "payload corrupted at {i}"
+        );
         cur = m.read_ref(cur, 0);
     }
     assert!(cur.is_null(), "list longer than expected");
@@ -124,7 +130,11 @@ fn churn_block_marking() {
 
 #[test]
 fn multithreaded_churn_all_variants() {
-    for cfg in [GcConfig::generational(), GcConfig::non_generational(), GcConfig::aging(3)] {
+    for cfg in [
+        GcConfig::generational(),
+        GcConfig::non_generational(),
+        GcConfig::aging(3),
+    ] {
         let gc = Gc::new(small(cfg));
         std::thread::scope(|s| {
             for t in 0..4u64 {
@@ -143,7 +153,10 @@ fn multithreaded_churn_all_variants() {
             }
         });
         gc.collect_full_blocking();
-        assert!(gc.cycles_completed() > 0, "no collections under concurrency");
+        assert!(
+            gc.cycles_completed() > 0,
+            "no collections under concurrency"
+        );
         gc.shutdown();
     }
 }
@@ -182,7 +195,11 @@ fn inter_generational_pointer_keeps_young_alive() {
 
     let y = m.read_ref(old, 0);
     assert_eq!(y, young);
-    assert_eq!(m.read_data(y, 0), 99, "young object lost despite inter-gen pointer");
+    assert_eq!(
+        m.read_data(y, 0),
+        99,
+        "young object lost despite inter-gen pointer"
+    );
     drop(m);
     gc.shutdown();
 }
@@ -239,7 +256,10 @@ fn oom_is_reported_not_crashed() {
             }
         }
     }
-    assert!(matches!(err, Some(otf_gengc::gc::AllocError::OutOfMemory { .. })));
+    assert!(matches!(
+        err,
+        Some(otf_gengc::gc::AllocError::OutOfMemory { .. })
+    ));
     drop(m);
     gc.shutdown();
 }
@@ -256,7 +276,9 @@ fn stats_record_partial_and_full_cycles() {
     let stats = gc.stats();
     assert!(stats.partial_count() > 0, "expected partial collections");
     assert!(stats.full_count() > 0, "expected a full collection");
-    assert!(stats.cycles_of(CycleKind::Partial).all(|c| c.kind == CycleKind::Partial));
+    assert!(stats
+        .cycles_of(CycleKind::Partial)
+        .all(|c| c.kind == CycleKind::Partial));
     assert!(stats.gc_active > std::time::Duration::ZERO);
     assert!(stats.objects_allocated >= 20_000);
     drop(m);

@@ -12,8 +12,7 @@ use std::collections::{HashSet, VecDeque};
 
 use otf_gengc::gc::{Gc, GcConfig, Mutator};
 use otf_gengc::heap::{ObjShape, ObjectRef};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use otf_support::rand::{RngExt, SeedableRng, StdRng};
 
 /// The Rust-side model of the heap graph.
 struct Model {
@@ -49,7 +48,10 @@ fn build_graph(m: &mut Mutator, rng: &mut StdRng, n: usize, refs_per_node: usize
         m.root_push(obj);
         nodes.push((obj, vec![None; refs_per_node]));
     }
-    let mut model = Model { nodes, refs_per_node };
+    let mut model = Model {
+        nodes,
+        refs_per_node,
+    };
     // Random edges (biased toward earlier nodes, like real graphs).
     let edges = n * refs_per_node / 2;
     for _ in 0..edges {
@@ -70,7 +72,11 @@ fn payload(i: usize) -> u64 {
 fn verify(m: &Mutator, model: &Model, reachable: &HashSet<usize>) {
     for &i in reachable {
         let (obj, edges) = &model.nodes[i];
-        assert_eq!(m.read_data(*obj, 0), payload(i), "payload of node {i} corrupted");
+        assert_eq!(
+            m.read_data(*obj, 0),
+            payload(i),
+            "payload of node {i} corrupted"
+        );
         for (slot, edge) in edges.iter().enumerate() {
             let got = m.read_ref(*obj, slot);
             match edge {
@@ -83,7 +89,11 @@ fn verify(m: &Mutator, model: &Model, reachable: &HashSet<usize>) {
 }
 
 fn run_model_test(cfg: GcConfig, seed: u64, n: usize) {
-    let gc = Gc::new(cfg.with_max_heap(8 << 20).with_initial_heap(1 << 20).with_young_size(256 << 10));
+    let gc = Gc::new(
+        cfg.with_max_heap(8 << 20)
+            .with_initial_heap(1 << 20)
+            .with_young_size(256 << 10),
+    );
     let mut m = gc.mutator();
     let mut rng = StdRng::seed_from_u64(seed);
     let model = build_graph(&mut m, &mut rng, n, 3);
