@@ -11,3 +11,10 @@ export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 cargo build --release --offline --workspace --all-targets
 cargo test -q --offline
 cargo fmt --check
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+# Smoke-run the side-table kernel microbench (tiny iteration budget):
+# catches kernel regressions and keeps BENCH_kernels.json reproducible.
+# OTF_BENCH_OUT diverts the JSON so a CI run never dirties the tree.
+OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_kernels_ci.json \
+    ./target/release/bench_kernels --quick

@@ -1,0 +1,380 @@
+//! Side-table kernel microbenchmark: byte-loop reference vs
+//! word-at-a-time (`otf_support::tablescan`) on dense, sparse and
+//! alternating table contents, plus an end-to-end A/B of the real
+//! collector's sweep/card/init phases on the `db` and `compress`
+//! workloads (same binary, kernels switched via
+//! [`tablescan::force_reference`]).
+//!
+//! Results are printed as a table and emitted machine-readable to
+//! `BENCH_kernels.json` (set `OTF_BENCH_OUT` to override the path) so
+//! successive PRs can track the kernel-performance trajectory.
+//!
+//! Accepts the standard figure-harness flags (`--scale`, `--reps`,
+//! `--seed`, `--quick`); combine `--quick` with `OTF_BENCH_QUICK=1` for
+//! the CI smoke configuration.
+
+use std::sync::atomic::AtomicU8;
+use std::time::Duration;
+
+use otf_bench::measure::{median_run, Options};
+use otf_bench::table::Table;
+use otf_gc::{CycleKind, GcConfig};
+use otf_support::bench::Harness;
+use otf_support::tablescan::{self, reference};
+use otf_workloads::{Compress, Db, Workload};
+
+/// One kernel measurement: reference vs word timing on one pattern.
+struct KernelResult {
+    kernel: &'static str,
+    pattern: &'static str,
+    bytes: usize,
+    ref_ns: f64,
+    word_ns: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        if self.word_ns > 0.0 {
+            self.ref_ns / self.word_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One end-to-end workload phase measurement under one kernel mode.
+struct WorkloadResult {
+    workload: &'static str,
+    mode: &'static str,
+    elapsed: Duration,
+    cycles: usize,
+    init: Duration,
+    cards: Duration,
+    sweep: Duration,
+}
+
+/// A color-table-like byte pattern: `White` starts, `Interior` bodies,
+/// `Free` gaps (encodings 2 / 1 / 0, matching `otf_heap::Color`).
+fn color_pattern(bytes: usize, object_granules: usize, gap: usize) -> Vec<AtomicU8> {
+    let mut v = Vec::with_capacity(bytes);
+    while v.len() < bytes {
+        v.push(AtomicU8::new(2)); // object start
+        for _ in 1..object_granules.min(bytes - v.len() + 1) {
+            if v.len() < bytes {
+                v.push(AtomicU8::new(1)); // interior
+            }
+        }
+        for _ in 0..gap {
+            if v.len() < bytes {
+                v.push(AtomicU8::new(0)); // free
+            }
+        }
+    }
+    v
+}
+
+/// A card-table-like pattern: one dirty byte every `period` cards.
+fn card_pattern(bytes: usize, period: usize) -> Vec<AtomicU8> {
+    (0..bytes)
+        .map(|i| AtomicU8::new(u8::from(i % period == 0)))
+        .collect()
+}
+
+/// The sweep's table walk: skip non-object bytes, then scan the found
+/// object's interior run; repeat to the end.  Returns the object count
+/// so the closure has a data dependency the optimizer must keep.
+fn sweep_walk(
+    t: &[AtomicU8],
+    skip: fn(&[AtomicU8], usize, usize, u8) -> usize,
+    run_end: fn(&[AtomicU8], usize, usize, u8) -> usize,
+) -> usize {
+    let end = t.len();
+    let mut objects = 0;
+    let mut g = 0;
+    while g < end {
+        g = skip(t, g, end, 1);
+        if g >= end {
+            break;
+        }
+        objects += 1;
+        g = run_end(t, g + 1, end, 1);
+    }
+    objects
+}
+
+/// The card scan's walk: hop from dirty byte to dirty byte.
+fn card_walk(t: &[AtomicU8], skip: fn(&[AtomicU8], usize, usize, u8) -> usize) -> usize {
+    let end = t.len();
+    let mut dirty = 0;
+    let mut g = 0;
+    while g < end {
+        g = skip(t, g, end, 0);
+        if g >= end {
+            break;
+        }
+        dirty += 1;
+        g += 1;
+    }
+    dirty
+}
+
+/// Benchmarks `f_ref` vs `f_word` and records the pair.
+fn bench_pair(
+    h: &mut Harness,
+    out: &mut Vec<KernelResult>,
+    kernel: &'static str,
+    pattern: &'static str,
+    bytes: usize,
+    mut f_ref: impl FnMut() -> usize,
+    mut f_word: impl FnMut() -> usize,
+) {
+    assert_eq!(f_ref(), f_word(), "{kernel}/{pattern}: kernels disagree");
+    h.bench(&format!("{kernel}/{pattern}/ref"), &mut f_ref);
+    let ref_ns = h.results().last().unwrap().1.median.as_nanos() as f64;
+    h.bench(&format!("{kernel}/{pattern}/word"), &mut f_word);
+    let word_ns = h.results().last().unwrap().1.median.as_nanos() as f64;
+    out.push(KernelResult {
+        kernel,
+        pattern,
+        bytes,
+        ref_ns,
+        word_ns,
+    });
+}
+
+fn bench_kernels(table_bytes: usize) -> Vec<KernelResult> {
+    let mut h = Harness::new();
+    let mut out = Vec::new();
+
+    // The three color-table regimes: sparse (mostly-free heap after a
+    // major reclamation — the sweep's dominant case), alternating
+    // (object / small gap), dense (back-to-back survivors).
+    let patterns: [(&'static str, Vec<AtomicU8>); 3] = [
+        ("sparse", color_pattern(table_bytes, 2, 254)),
+        ("alternating", color_pattern(table_bytes, 2, 6)),
+        ("dense", color_pattern(table_bytes, 2, 0)),
+    ];
+    for (name, t) in &patterns {
+        bench_pair(
+            &mut h,
+            &mut out,
+            "sweep_walk",
+            name,
+            t.len(),
+            || sweep_walk(t, reference::find_byte_not_in, reference::find_run_end),
+            || sweep_walk(t, tablescan::find_byte_not_in, tablescan::find_run_end),
+        );
+    }
+
+    // Card-table regimes: 0.05% dirty, ~3% dirty, every card dirty.
+    let cards: [(&'static str, Vec<AtomicU8>); 3] = [
+        ("sparse", card_pattern(table_bytes / 4, 2048)),
+        ("alternating", card_pattern(table_bytes / 4, 32)),
+        ("dense", card_pattern(table_bytes / 4, 1)),
+    ];
+    for (name, t) in &cards {
+        bench_pair(
+            &mut h,
+            &mut out,
+            "card_walk",
+            name,
+            t.len(),
+            || card_walk(t, reference::find_byte_not_in),
+            || card_walk(t, tablescan::find_byte_not_in),
+        );
+        bench_pair(
+            &mut h,
+            &mut out,
+            "count_dirty",
+            name,
+            t.len(),
+            || reference::count_matching(t, 0, t.len(), 1),
+            || tablescan::count_matching(t, 0, t.len(), 1),
+        );
+    }
+
+    // Bulk clears (InitFullCollection's clear_all; sweep's fill-to-free).
+    let t = card_pattern(table_bytes / 4, 1);
+    bench_pair(
+        &mut h,
+        &mut out,
+        "bulk_zero",
+        "full_table",
+        t.len(),
+        || {
+            reference::bulk_zero(&t, 0, t.len());
+            t.len()
+        },
+        || {
+            tablescan::bulk_zero(&t, 0, t.len());
+            t.len()
+        },
+    );
+    out
+}
+
+/// Runs `workload` once per kernel mode and reports the cycle-phase
+/// sums.  The mode switch covers every table scan in the process, so
+/// this is a true same-binary A/B of the word kernels.
+fn bench_workload(
+    name: &'static str,
+    w: &dyn Workload,
+    o: &Options,
+    out: &mut Vec<WorkloadResult>,
+) {
+    for (mode, forced) in [("reference", true), ("word", false)] {
+        tablescan::force_reference(forced);
+        let r = median_run(w, GcConfig::generational(), o);
+        tablescan::force_reference(false);
+        let (mut init, mut cards, mut sweep) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        for c in &r.stats.cycles {
+            init += c.phases.init;
+            cards += c.phases.cards;
+            sweep += c.phases.sweep;
+        }
+        let full = r.stats.cycles_of(CycleKind::Full).count();
+        let partial = r.stats.cycles_of(CycleKind::Partial).count();
+        println!(
+            "{name}/{mode:<9} elapsed {:>8.1} ms  sweep {:>8.2} ms  cards {:>7.2} ms  \
+             init {:>7.2} ms  ({partial} partial + {full} full cycles)",
+            r.elapsed.as_secs_f64() * 1e3,
+            sweep.as_secs_f64() * 1e3,
+            cards.as_secs_f64() * 1e3,
+            init.as_secs_f64() * 1e3,
+        );
+        out.push(WorkloadResult {
+            workload: name,
+            mode,
+            elapsed: r.elapsed,
+            cycles: r.stats.cycles.len(),
+            init,
+            cards,
+            sweep,
+        });
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    if b.is_zero() {
+        0.0
+    } else {
+        a.as_secs_f64() / b.as_secs_f64()
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn write_json(kernels: &[KernelResult], workloads: &[WorkloadResult], o: &Options, path: &str) {
+    let mut j = String::from("{\n  \"bench\": \"kernels\",\n");
+    j.push_str(&format!(
+        "  \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
+        o.scale, o.reps, o.seed
+    ));
+    j.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"pattern\": \"{}\", \"bytes\": {}, \
+             \"ref_ns\": {:.1}, \"word_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            json_escape_free(k.kernel),
+            json_escape_free(k.pattern),
+            k.bytes,
+            k.ref_ns,
+            k.word_ns,
+            k.speedup(),
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"elapsed_ms\": {:.2}, \
+             \"cycles\": {}, \"init_ms\": {:.3}, \"cards_ms\": {:.3}, \"sweep_ms\": {:.3}}}{}\n",
+            json_escape_free(w.workload),
+            json_escape_free(w.mode),
+            w.elapsed.as_secs_f64() * 1e3,
+            w.cycles,
+            w.init.as_secs_f64() * 1e3,
+            w.cards.as_secs_f64() * 1e3,
+            w.sweep.as_secs_f64() * 1e3,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n  \"sweep_reduction\": [\n");
+    let pairs: Vec<(&WorkloadResult, &WorkloadResult)> = workloads
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| (&c[0], &c[1]))
+        .collect();
+    for (i, (r, w)) in pairs.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"sweep_speedup\": {:.2}, \"cards_speedup\": {:.2}, \
+             \"init_speedup\": {:.2}}}{}\n",
+            json_escape_free(r.workload),
+            ratio(r.sweep, w.sweep),
+            ratio(r.cards, w.cards),
+            ratio(r.init, w.init),
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    match std::fs::write(path, &j) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let o = Options::from_args();
+    let quick = std::env::var_os("OTF_BENCH_QUICK").is_some() || o.scale < 0.2;
+    let table_bytes = if quick { 1 << 18 } else { 4 << 20 };
+
+    println!("== side-table kernels: byte loop vs word-at-a-time ==\n");
+    let kernels = bench_kernels(table_bytes);
+
+    let mut t = Table::new("kernel microbenchmarks (full-table walk, median)");
+    t.header(["kernel", "pattern", "ref ns", "word ns", "speedup"]);
+    for k in &kernels {
+        t.row([
+            k.kernel.to_string(),
+            k.pattern.to_string(),
+            format!("{:.0}", k.ref_ns),
+            format!("{:.0}", k.word_ns),
+            format!("{:.2}x", k.speedup()),
+        ]);
+    }
+    println!();
+    t.print();
+
+    println!("== end-to-end collector phases (generational, db/compress) ==\n");
+    let wl_scale = if quick {
+        o.scale.min(0.1)
+    } else {
+        o.scale * 0.5
+    };
+    let mut workloads = Vec::new();
+    bench_workload("db", &Db::new().scaled(wl_scale), &o, &mut workloads);
+    bench_workload(
+        "compress",
+        &Compress::new().scaled(wl_scale),
+        &o,
+        &mut workloads,
+    );
+
+    for pair in workloads.chunks(2) {
+        if let [r, w] = pair {
+            println!(
+                "\n{}: sweep {:.2}x faster, cards {:.2}x, init {:.2}x (word vs byte loop)",
+                r.workload,
+                ratio(r.sweep, w.sweep),
+                ratio(r.cards, w.cards),
+                ratio(r.init, w.init),
+            );
+        }
+    }
+
+    let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    write_json(&kernels, &workloads, &o, &path);
+}

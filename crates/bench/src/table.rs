@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(pct(3.14159), "+3.1");
+        assert_eq!(pct(3.45159), "+3.5");
         assert_eq!(pct(-2.0), "-2.0");
         assert_eq!(f0_opt(None), "N/A");
         assert_eq!(f0_opt(Some(12.7)), "13");

@@ -1,7 +1,7 @@
 //! Dirty-card scanning (`ClearCards`) and full-collection initialization
 //! (`InitFullCollection`) — Figures 3 and 6 of the paper.
 
-use otf_heap::{Color, ObjectRef, GRANULE};
+use otf_heap::{Color, GRANULE};
 
 use crate::cycle::CycleCx;
 use crate::shared::GcShared;
@@ -29,22 +29,25 @@ impl GcShared {
         let n_cards = self.cards_in_use();
         cx.counters.cards_in_use = n_cards as u64;
         cx.touch_card_range(0, n_cards);
-        for card in 0..n_cards {
-            if !self.cards.is_dirty(card) {
-                continue;
-            }
+        // The per-card list of black objects to gray lives on the cycle
+        // context, reused across cards instead of allocated per card.
+        let mut grayed = std::mem::take(&mut cx.scratch_grayed);
+        // Word-skip the (typically long) clean runs between dirty cards.
+        let mut from = 0;
+        while let Some(card) = self.cards.next_dirty(from, n_cards) {
+            from = card + 1;
             cx.counters.dirty_cards += 1;
             self.cards.clear(card);
             let (gs, ge) = self.cards.granule_range(card);
             cx.touch_color_range(gs, ge.min(self.heap.frontier_granule()));
-            let mut grayed: Vec<(ObjectRef, usize)> = Vec::new();
+            grayed.clear();
             self.heap
                 .for_each_object_start(gs, ge, |obj, color, header| {
                     if color == Color::Black {
                         grayed.push((obj, header.size_granules()));
                     }
                 });
-            for (obj, size) in grayed {
+            for &(obj, size) in &grayed {
                 if self
                     .heap
                     .colors()
@@ -57,6 +60,7 @@ impl GcShared {
                 }
             }
         }
+        cx.scratch_grayed = grayed;
     }
 
     /// `ClearCards`, aging variant (Figure 6, with the §7.2 three-step
@@ -81,10 +85,14 @@ impl GcShared {
         cx.counters.cards_in_use = n_cards as u64;
         cx.touch_card_range(0, n_cards);
         let ages = self.heap.ages();
-        for card in 0..n_cards {
-            if !self.cards.is_dirty(card) {
-                continue;
-            }
+        // Per-card tenured-root list, reused across cards (and cycles).
+        let mut tenured_roots = std::mem::take(&mut cx.scratch_tenured);
+        // Word-skip clean runs; next_dirty's acquire re-read of the dirty
+        // byte pairs with the mutator's release mark, so the pointer
+        // stores that preceded a mark we observe are visible to step 2.
+        let mut from = 0;
+        while let Some(card) = self.cards.next_dirty(from, n_cards) {
+            from = card + 1;
             cx.counters.dirty_cards += 1;
             // Step 1: clear first (the mutator stores first and marks
             // second, so either we see its pointer in step 2 or its mark
@@ -93,7 +101,7 @@ impl GcShared {
             let (gs, ge) = self.cards.granule_range(card);
             cx.touch_color_range(gs, ge.min(self.heap.frontier_granule()));
             // Step 2: scan.
-            let mut tenured_roots: Vec<(ObjectRef, usize, usize)> = Vec::new();
+            tenured_roots.clear();
             let mut remark = false;
             self.heap
                 .for_each_object_start(gs, ge, |obj, color, header| {
@@ -115,7 +123,7 @@ impl GcShared {
                         }
                     }
                 });
-            for (obj, ref_slots, size) in tenured_roots {
+            for &(obj, ref_slots, size) in &tenured_roots {
                 cx.counters.intergen_objects += 1;
                 cx.counters.intergen_bytes += (size * GRANULE) as u64;
                 cx.touch_object(obj, 1 + ref_slots);
@@ -136,6 +144,7 @@ impl GcShared {
                 self.cards.mark_card(card);
             }
         }
+        cx.scratch_tenured = tenured_roots;
     }
 
     /// `InitFullCollection` (Figures 3 and 6): recolor every black (and
@@ -148,22 +157,29 @@ impl GcShared {
     /// Runs before the first handshake, concurrently with fully-running
     /// mutators; this is safe because mutators never recolor black
     /// objects.
+    ///
+    /// The pass is a single word-at-a-time skip: `Gray` and `Black` are
+    /// the only byte values above `Yellow`, and interior granules always
+    /// hold `Interior`, so scanning for "first byte > `Yellow`" lands
+    /// exactly on the start granules that need recoloring — no object
+    /// parsing (headers, extents) at all.  Concurrent allocation only
+    /// publishes `White`/`Yellow` start bytes, which the scan correctly
+    /// passes over, and no other thread writes `Black`/`Gray` while the
+    /// collector is here, so a relaxed scan plus release recoloring
+    /// store is sound.
     pub(crate) fn init_full_collection(&self, clear_cards: bool, cx: &mut CycleCx) {
         let alloc = self.colors.allocation_color();
         let colors = self.heap.colors();
         let end = self.heap.frontier_granule();
         cx.touch_color_range(1, end);
         let mut g = 1;
-        while g < end {
-            g = colors.skip_non_object(g, end);
+        loop {
+            g = colors.next_color_above(g, end, Color::Yellow);
             if g >= end {
                 break;
             }
-            let color = colors.get(g);
-            if color == Color::Black || color == Color::Gray {
-                colors.set(g, alloc);
-            }
-            g = colors.object_end(g, end);
+            colors.set(g, alloc);
+            g += 1;
         }
         if clear_cards {
             self.cards.clear_all();
@@ -177,7 +193,7 @@ mod tests {
     use super::*;
     use crate::config::GcConfig;
     use crate::cycle::CycleCx;
-    use otf_heap::ObjShape;
+    use otf_heap::{ObjShape, ObjectRef};
 
     fn setup(cfg: GcConfig) -> (GcShared, CycleCx) {
         let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
@@ -189,8 +205,7 @@ mod tests {
         let shape = ObjShape::new(refs, 0);
         let n = shape.size_granules() as u32;
         let c = sh.heap.alloc_chunk(n, n).unwrap();
-        let obj = sh.heap.install_object(c.start as usize, &shape, color);
-        obj
+        sh.heap.install_object(c.start as usize, &shape, color)
     }
 
     #[test]

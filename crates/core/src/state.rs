@@ -143,7 +143,7 @@ impl MutatorShared {
     /// Whether the mutator is currently outside any gray-producing region.
     #[inline]
     pub fn epoch_is_even(&self) -> bool {
-        self.epoch.load(Ordering::SeqCst) % 2 == 0
+        self.epoch.load(Ordering::SeqCst).is_multiple_of(2)
     }
 }
 

@@ -26,6 +26,12 @@ use crate::config::{Mode, Promotion};
 use crate::cycle::CycleCx;
 use crate::shared::GcShared;
 
+/// Reclaimed chunks accumulate in a batch and are published to the free
+/// lists whenever this many are pending, so concurrent allocation never
+/// starves behind a long sweep.  The batch is pre-sized to this
+/// threshold.
+const SWEEP_FLUSH_CHUNKS: usize = 256;
+
 impl GcShared {
     /// Runs the sweep for the current cycle.
     pub(crate) fn sweep(&self, cx: &mut CycleCx) {
@@ -43,19 +49,18 @@ impl GcShared {
         cx.touch_color_range(1, end);
 
         let mut run: Option<Chunk> = None;
-        let mut batch: Vec<Chunk> = Vec::with_capacity(64);
+        let mut batch: Vec<Chunk> = Vec::with_capacity(SWEEP_FLUSH_CHUNKS);
         let mut g = 1usize;
         while g < end {
             // Fast path: skip reclaimed / unallocated / in-flight space
-            // with relaxed loads.  Such space is never reclaimed again, so
-            // any pending run must be flushed before crossing it (we must
-            // not merge chunks into space someone else may own).
+            // with relaxed word-at-a-time loads.  Such space is never
+            // reclaimed again, so any pending run must be flushed before
+            // crossing it (we must not merge chunks into space someone
+            // else may own).
             let next = colors.skip_non_object(g, end);
             if next != g {
                 Self::flush_run(&mut run, &mut batch);
-                if batch.len() >= 256 {
-                    // Publish reclaimed space promptly so concurrent
-                    // allocation never starves behind a long sweep.
+                if batch.len() >= SWEEP_FLUSH_CHUNKS {
                     self.heap.free_chunk_batch(&batch);
                     batch.clear();
                 }
@@ -87,6 +92,10 @@ impl GcShared {
                 // Survivor (traced, created-during-cycle, or — for
                 // robustness — a leaked gray, treated as live).
                 Self::flush_run(&mut run, &mut batch);
+                if batch.len() >= SWEEP_FLUSH_CHUNKS {
+                    self.heap.free_chunk_batch(&batch);
+                    batch.clear();
+                }
                 cx.counters.objects_survived += 1;
                 cx.counters.bytes_survived += (size * GRANULE) as u64;
                 if color == alloc {

@@ -13,6 +13,8 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use otf_support::tablescan;
+
 use crate::addr::{GRANULE, GRANULE_LOG2};
 
 /// Smallest supported card size in bytes (object marking).
@@ -111,12 +113,15 @@ impl CardTable {
         self.bytes[card].store(DIRTY, Ordering::Release);
     }
 
-    /// Clears every card (used by `InitFullCollection` in the simple
-    /// variant, Figure 3).
+    /// Clears every card with word-wide stores (used by
+    /// `InitFullCollection` in the simple variant, Figure 3).  A mutator
+    /// concurrently re-marking a card in the same word is linearized per
+    /// byte by coherence — either its mark lands after the wipe and
+    /// survives, or before and is cleared, exactly as with the
+    /// byte-at-a-time loop (safe here because a full collection traces
+    /// everything, so a wiped mark loses no inter-generational pointer).
     pub fn clear_all(&self) {
-        for b in self.bytes.iter() {
-            b.store(CLEAN, Ordering::Release);
-        }
+        tablescan::bulk_zero(&self.bytes, 0, self.bytes.len());
     }
 
     /// The granule range `[start, end)` covered by card `card`.
@@ -127,24 +132,44 @@ impl CardTable {
         (start, start + granules_per_card)
     }
 
-    /// Calls `f(card)` for every dirty card index in `[0, cards)`, using
-    /// cheap relaxed scanning (the collector re-reads with acquire before
-    /// acting).
+    /// Returns the first dirty card in `[from, to)`, or `None` if every
+    /// card in the range is clean — the card scan's word-at-a-time skip
+    /// over clean runs (typically the vast majority of the table).
+    ///
+    /// The skip itself uses relaxed word loads; before returning, the
+    /// found card's byte is re-loaded with acquire, pairing with the
+    /// mutator's release [`mark_byte`](CardTable::mark_byte) so the
+    /// pointer store that preceded the mark is visible to the caller's
+    /// subsequent object scan (the same re-load-before-acting protocol
+    /// the color table uses).  Only mutators dirty cards and only the
+    /// collector — the caller — cleans them, so the re-read cannot
+    /// observe the card clean again.
+    #[inline]
+    pub fn next_dirty(&self, from: usize, to: usize) -> Option<usize> {
+        let to = to.min(self.bytes.len());
+        let i = tablescan::find_byte_not_in(&self.bytes, from.min(to), to, CLEAN);
+        if i < to {
+            let _ = self.bytes[i].load(Ordering::Acquire);
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Calls `f(card)` for every dirty card index in `[0, cards)`,
+    /// word-skipping clean runs via [`next_dirty`](CardTable::next_dirty).
     #[inline]
     pub fn for_each_dirty<F: FnMut(usize)>(&self, cards: usize, mut f: F) {
-        for (i, b) in self.bytes[..cards.min(self.bytes.len())].iter().enumerate() {
-            if b.load(Ordering::Relaxed) == DIRTY {
-                f(i);
-            }
+        let mut from = 0;
+        while let Some(card) = self.next_dirty(from, cards) {
+            f(card);
+            from = card + 1;
         }
     }
 
     /// Number of dirty cards among the first `cards` cards.
     pub fn count_dirty(&self, cards: usize) -> usize {
-        self.bytes[..cards.min(self.bytes.len())]
-            .iter()
-            .filter(|b| b.load(Ordering::Relaxed) == DIRTY)
-            .count()
+        tablescan::count_matching(&self.bytes, 0, cards.min(self.bytes.len()), DIRTY)
     }
 }
 
@@ -197,6 +222,37 @@ mod tests {
         assert_eq!(t.count_dirty(t.len()), 3);
         t.clear_all();
         assert_eq!(t.count_dirty(t.len()), 0);
+    }
+
+    #[test]
+    fn next_dirty_skips_clean_runs() {
+        let t = CardTable::new(1 << 16, 16); // 4096 cards
+        assert_eq!(t.next_dirty(0, t.len()), None);
+        t.mark_card(0);
+        t.mark_card(1234);
+        t.mark_card(4095);
+        assert_eq!(t.next_dirty(0, t.len()), Some(0));
+        assert_eq!(t.next_dirty(1, t.len()), Some(1234));
+        assert_eq!(t.next_dirty(1235, t.len()), Some(4095));
+        assert_eq!(t.next_dirty(4096, t.len()), None);
+        // Range end caps the scan, and an out-of-range `from` is safe.
+        assert_eq!(t.next_dirty(1235, 4095), None);
+        assert_eq!(t.next_dirty(9999, 99999), None);
+    }
+
+    #[test]
+    fn for_each_dirty_enumerates_in_order() {
+        let t = CardTable::new(1 << 14, 64); // 256 cards
+        for c in [3usize, 7, 64, 65, 255] {
+            t.mark_card(c);
+        }
+        let mut seen = Vec::new();
+        t.for_each_dirty(t.len(), |c| seen.push(c));
+        assert_eq!(seen, vec![3, 7, 64, 65, 255]);
+        // A bounded scan stops at the bound.
+        seen.clear();
+        t.for_each_dirty(65, |c| seen.push(c));
+        assert_eq!(seen, vec![3, 7, 64]);
     }
 
     #[test]

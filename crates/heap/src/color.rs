@@ -18,6 +18,8 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
+use otf_support::tablescan;
+
 /// Object colors, including the two table-only pseudo-colors `Free` (the
 /// paper's blue) and `Interior`.
 ///
@@ -147,20 +149,26 @@ impl ColorTable {
     }
 
     /// Fills `[start, start + len)` with `color` (used for interiors at
-    /// allocation and for freeing at sweep).
+    /// allocation and for freeing at sweep) — word-wide release stores.
+    ///
+    /// The word stores alone do not *publish* an object: the allocator's
+    /// protocol still ends with the release store of the start-granule
+    /// color ([`set`](ColorTable::set)), which orders the whole fill
+    /// before the object becomes visible.
     pub fn fill(&self, start: usize, len: usize, color: Color) {
-        for g in start..start + len {
-            self.bytes[g].store(color as u8, Ordering::Release);
-        }
+        tablescan::bulk_fill(&self.bytes, start, start + len, color as u8);
     }
 
-    /// Relaxed raw read of the color byte — the hot-path primitive of the
-    /// linear sweep.  A non-object byte read relaxed is definitive
-    /// (granules only leave the `Free`/`Interior` states through this same
-    /// collector thread or through an allocation the sweep may legitimately
-    /// miss); before reading an object's *header* the caller must re-load
-    /// the byte with [`get`](ColorTable::get) (acquire) to pair with the
-    /// allocator's publication store.
+    /// Relaxed raw read of the color byte.  A non-object byte read relaxed
+    /// is definitive (granules only leave the `Free`/`Interior` states
+    /// through this same collector thread or through an allocation the
+    /// sweep may legitimately miss); before reading an object's *header*
+    /// the caller must re-load the byte with [`get`](ColorTable::get)
+    /// (acquire) to pair with the allocator's publication store.  The
+    /// word-at-a-time scans ([`skip_non_object`](ColorTable::skip_non_object),
+    /// [`object_end`](ColorTable::object_end)) are the same protocol eight
+    /// bytes at a time; `otf_support::tablescan` documents the mixed-size
+    /// memory-model argument.
     #[inline]
     pub fn get_raw_relaxed(&self, granule: usize) -> u8 {
         self.bytes[granule].load(Ordering::Relaxed)
@@ -169,27 +177,40 @@ impl ColorTable {
     /// Advances from `from` over `Free`/`Interior` granules, returning the
     /// first granule in `[from, to)` that holds an object color (or `to`).
     /// This is the sweep's fast-skip loop over reclaimed and unallocated
-    /// space.
+    /// space — a word-at-a-time relaxed scan (see
+    /// [`get_raw_relaxed`](ColorTable::get_raw_relaxed) for why relaxed
+    /// suffices; the caller re-loads the found byte with acquire before
+    /// touching the object).
     #[inline]
     pub fn skip_non_object(&self, from: usize, to: usize) -> usize {
-        let mut g = from;
-        while g < to && self.bytes[g].load(Ordering::Relaxed) <= Color::Interior as u8 {
-            g += 1;
-        }
-        g
+        self.next_color_above(from, to, Color::Interior)
+    }
+
+    /// Returns the first granule in `[from, to)` whose byte encodes a
+    /// color strictly above `floor` (or `to`).  `floor = Interior` is the
+    /// sweep's [`skip_non_object`](ColorTable::skip_non_object);
+    /// `floor = Yellow` finds black/gray bytes directly — the whole of
+    /// `InitFullCollection`'s search, since `Gray` and `Black` are the
+    /// only byte values above `Yellow` and interior granules always hold
+    /// `Interior`.
+    #[inline]
+    pub fn next_color_above(&self, from: usize, to: usize, floor: Color) -> usize {
+        tablescan::find_byte_not_in(&self.bytes, from, to, floor as u8)
     }
 
     /// Returns one-past-the-end of the object starting at `start`, found
-    /// by scanning its `Interior` bytes — the color table alone encodes
-    /// object extents, so a sweep never needs to read headers out of the
-    /// arena.  `start`'s own byte is not examined.
+    /// by scanning its `Interior` bytes word-at-a-time — the color table
+    /// alone encodes object extents, so a sweep never needs to read
+    /// headers out of the arena.  `start`'s own byte is not examined.
     #[inline]
     pub fn object_end(&self, start: usize, to: usize) -> usize {
-        let mut g = start + 1;
-        while g < to && self.bytes[g].load(Ordering::Relaxed) == Color::Interior as u8 {
-            g += 1;
-        }
-        g
+        tablescan::find_run_end(&self.bytes, (start + 1).min(to), to, Color::Interior as u8)
+    }
+
+    /// Number of granules in `[from, to)` holding exactly `color`
+    /// (diagnostics and differential tests).
+    pub fn count_matching(&self, from: usize, to: usize, color: Color) -> usize {
+        tablescan::count_matching(&self.bytes, from, to, color as u8)
     }
 }
 

@@ -2,8 +2,10 @@
 //! deterministic `otf_support::check` harness (fixed seeds, shrink by
 //! halving).
 
-use otf_heap::{CardTable, Chunk, Color, FreeLists, Header, HeapSpace, ObjShape, GRANULE};
-use otf_support::check::run_cases;
+use otf_heap::{
+    CardTable, Chunk, Color, ColorTable, FreeLists, Header, HeapSpace, ObjShape, GRANULE,
+};
+use otf_support::check::{run_cases, Gen};
 
 const CASES: u64 = 256;
 
@@ -121,6 +123,131 @@ fn heap_parse_integrity() {
             assert_eq!(shape.ref_slots(), *srefs);
             assert_eq!(shape.class_id(), *sclass);
         }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Differential tests: the word-at-a-time table kernels against
+// independent byte-loop oracles written on the tables' byte-level public
+// API.  Table sizes and range endpoints are drawn so that scans start
+// unaligned, end mid-word, and cross word boundaries inside runs.
+// ---------------------------------------------------------------------
+
+/// A color table populated with random object/interior/free runs —
+/// including single-byte noise — so every kernel sees runs that straddle
+/// `u64` boundaries as well as dense color churn.
+fn random_color_table(g: &mut Gen) -> ColorTable {
+    let len = g.usize_in(1..300);
+    let t = ColorTable::new(len);
+    let mut i = 0;
+    while i < len {
+        let run = g.usize_in(1..50).min(len - i);
+        let color = match g.usize_in(0..6) {
+            0 => Color::Free,
+            1 => Color::Interior,
+            2 => Color::White,
+            3 => Color::Yellow,
+            4 => Color::Gray,
+            _ => Color::Black,
+        };
+        for k in 0..run {
+            t.set(i + k, color);
+        }
+        i += run;
+    }
+    t
+}
+
+/// Word-kernel `skip_non_object` / `next_color_above` / `object_end` /
+/// `count_matching` match byte loops over `get_raw_relaxed`.
+#[test]
+fn color_kernels_match_byte_loops() {
+    run_cases("color_kernels_match_byte_loops", 0x50AA, 256, |g| {
+        let t = random_color_table(g);
+        let to = g.usize_in(0..t.len() + 1);
+        let from = g.usize_in(0..to + 1);
+
+        let skip_oracle = (from..to)
+            .find(|&i| t.get_raw_relaxed(i) > Color::Interior as u8)
+            .unwrap_or(to);
+        assert_eq!(t.skip_non_object(from, to), skip_oracle);
+
+        let above_oracle = (from..to)
+            .find(|&i| t.get_raw_relaxed(i) > Color::Yellow as u8)
+            .unwrap_or(to);
+        assert_eq!(t.next_color_above(from, to, Color::Yellow), above_oracle);
+
+        if from < to {
+            let end_oracle = (from + 1..to)
+                .find(|&i| t.get_raw_relaxed(i) != Color::Interior as u8)
+                .unwrap_or(to);
+            assert_eq!(t.object_end(from, to), end_oracle);
+        }
+
+        for color in [Color::Free, Color::Interior, Color::Black] {
+            let count_oracle = (from..to)
+                .filter(|&i| t.get_raw_relaxed(i) == color as u8)
+                .count();
+            assert_eq!(t.count_matching(from, to, color), count_oracle);
+        }
+    });
+}
+
+/// Word-kernel `fill` writes exactly the requested range.
+#[test]
+fn color_fill_matches_byte_loop() {
+    run_cases("color_fill_matches_byte_loop", 0x50AB, 256, |g| {
+        let t = random_color_table(g);
+        let before: Vec<u8> = (0..t.len()).map(|i| t.get_raw_relaxed(i)).collect();
+        let to = g.usize_in(0..t.len() + 1);
+        let from = g.usize_in(0..to + 1);
+        let color = if g.bool() {
+            Color::Free
+        } else {
+            Color::Interior
+        };
+        t.fill(from, to - from, color);
+        for (i, &b) in before.iter().enumerate() {
+            let expect = if (from..to).contains(&i) {
+                color as u8
+            } else {
+                b
+            };
+            assert_eq!(t.get_raw_relaxed(i), expect, "byte {i} of [{from}, {to})");
+        }
+    });
+}
+
+/// Word-kernel `next_dirty` / `count_dirty` / `clear_all` match byte
+/// loops over `is_dirty`.
+#[test]
+fn card_kernels_match_byte_loops() {
+    run_cases("card_kernels_match_byte_loops", 0x50AC, 256, |g| {
+        let cards = g.usize_in(1..400);
+        let t = CardTable::new(cards * 16, 16);
+        assert_eq!(t.len(), cards);
+        // Sparse-to-dense random dirtying.
+        let marks = g.usize_in(0..cards + 1);
+        for _ in 0..marks {
+            t.mark_card(g.usize_in(0..cards));
+        }
+
+        let to = g.usize_in(0..cards + 1);
+        let from = g.usize_in(0..to + 1);
+        let oracle = (from..to).find(|&c| t.is_dirty(c));
+        assert_eq!(t.next_dirty(from, to), oracle);
+
+        let count_oracle = (0..to).filter(|&c| t.is_dirty(c)).count();
+        assert_eq!(t.count_dirty(to), count_oracle);
+
+        let mut walked = Vec::new();
+        t.for_each_dirty(cards, |c| walked.push(c));
+        let walk_oracle: Vec<usize> = (0..cards).filter(|&c| t.is_dirty(c)).collect();
+        assert_eq!(walked, walk_oracle);
+
+        t.clear_all();
+        assert_eq!(t.count_dirty(cards), 0);
+        assert_eq!(t.next_dirty(0, cards), None);
     });
 }
 

@@ -16,6 +16,9 @@
 //!   generator plus shrink-by-halving, replacing `proptest`.
 //! * [`bench`] — a minimal statistical micro-benchmark harness (warmup,
 //!   N samples, median/p95), replacing `criterion`.
+//! * [`tablescan`] — SWAR word-at-a-time scanning kernels over
+//!   `[AtomicU8]` side tables (skip, run-end, count, bulk fill), the
+//!   substrate under the collector's sweep and card scans.
 //!
 //! The paper's own system (Domani, Kolodner & Petrank, PLDI 2000) was
 //! self-contained inside the JVM, and the DLG lineage it extends needs
@@ -29,3 +32,4 @@ pub mod check;
 pub mod queue;
 pub mod rand;
 pub mod sync;
+pub mod tablescan;

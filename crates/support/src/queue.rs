@@ -10,10 +10,14 @@
 //! the item is inserted into its shard and decremented only *after* an
 //! item has been removed, so once a `push` call has returned, no
 //! concurrent [`is_empty`](SegQueue::is_empty) can report the queue
-//! empty while the item is still present.  (A `pop` may transiently
-//! return `None` while an in-flight push holds the counter high; the
-//! collector's termination loop re-checks `is_empty` and retries, which
-//! is exactly the discipline the epoch protocol already imposes.)
+//! empty while the item is still present.  [`pop`](SegQueue::pop) gives
+//! the matching guarantee from the consumer side: when the counter says
+//! items are present but a full shard scan finds none (an in-flight push
+//! has incremented the counter and not yet inserted, or another popper
+//! removed an item and has not yet decremented), the scan *retries*
+//! instead of reporting a spurious `None` — so the collector's
+//! termination loop never spins on misses for items that were already
+//! pushed.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,20 +55,30 @@ impl<T> SegQueue<T> {
         self.shards[shard].lock().push_back(value);
     }
 
-    /// Removes and returns one item, or `None` if every shard is empty.
+    /// Removes and returns one item, or `None` only when the queue is
+    /// logically empty (every completed push has been popped).
+    ///
+    /// A shard scan that comes up dry while the length counter is
+    /// positive has raced an in-flight push (counter incremented, item
+    /// not yet inserted) or an in-flight pop (item removed, counter not
+    /// yet decremented); both windows close in a bounded number of the
+    /// other thread's steps, so the scan retries rather than returning a
+    /// transient `None`.
     pub fn pop(&self) -> Option<T> {
-        if self.len.load(Ordering::SeqCst) == 0 {
-            return None;
-        }
-        let start = self.pop_cursor.fetch_add(1, Ordering::Relaxed);
-        for i in 0..SHARDS {
-            let shard = (start + i) % SHARDS;
-            if let Some(v) = self.shards[shard].lock().pop_front() {
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                return Some(v);
+        loop {
+            if self.len.load(Ordering::SeqCst) == 0 {
+                return None;
             }
+            let start = self.pop_cursor.fetch_add(1, Ordering::Relaxed);
+            for i in 0..SHARDS {
+                let shard = (start + i) % SHARDS;
+                if let Some(v) = self.shards[shard].lock().pop_front() {
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    return Some(v);
+                }
+            }
+            std::hint::spin_loop();
         }
-        None
     }
 
     /// Whether the queue is (conservatively) empty: `false` whenever any
@@ -164,6 +178,36 @@ mod tests {
         let n = PRODUCERS * PER;
         assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2 + n);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_never_spuriously_none_when_items_remain() {
+        // Each thread pushes then immediately pops.  A pop may steal
+        // another thread's item, but at the moment any pop runs, its own
+        // push has completed and at most (pops completed so far) items
+        // have been removed — so some completed push is always still
+        // queued and pop must succeed.  The old pop could return a
+        // transient None here when its shard scan raced an in-flight
+        // push.
+        const THREADS: usize = 8;
+        const ITERS: usize = 5_000;
+        let q = Arc::new(SegQueue::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..ITERS {
+                        q.push(t * ITERS + i);
+                        assert!(q.pop().is_some(), "spurious None with items queued");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

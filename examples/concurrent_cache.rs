@@ -78,7 +78,7 @@ fn main() {
 
                     if op % 50_000 == 0 {
                         // Simulate waiting for the next request batch.
-                        m.parked(|| std::thread::yield_now());
+                        m.parked(std::thread::yield_now);
                     }
                     m.cooperate();
                 }
