@@ -18,3 +18,11 @@ cargo clippy -q --offline --workspace --all-targets -- -D warnings
 # OTF_BENCH_OUT diverts the JSON so a CI run never dirties the tree.
 OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_kernels_ci.json \
     ./target/release/bench_kernels --quick
+
+# Smoke-run the pause-time benchmark.  The binary itself exits non-zero
+# on non-monotone pause quantiles; the greps catch a malformed JSON
+# emitter (missing bench tag or rows).
+OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_pauses_ci.json \
+    ./target/release/bench_pauses --quick
+grep -q '"bench": "pauses"' target/BENCH_pauses_ci.json
+grep -q '"workload": "db"' target/BENCH_pauses_ci.json

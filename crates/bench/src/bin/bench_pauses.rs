@@ -1,0 +1,296 @@
+//! Pause-time benchmark: the paper's latency claim, measured.
+//!
+//! An on-the-fly collector's mutator pauses are bounded by handshake
+//! response time, not by heap size or live-set size (§2, §8.2).  This
+//! binary runs four allocation-heavy workloads under the generational
+//! and non-generational collectors and reports the max / p99 / p99.9
+//! GC-induced mutator pause per configuration, straight from the
+//! collector's always-on pause histograms (merged across repetitions —
+//! histogram mergeability is what makes multi-rep quantiles exact).
+//!
+//! Also measured: the event-tracing overhead A/B (same workload with the
+//! trace ring enabled vs disabled), since the ring's record path is on
+//! the collector's phase boundaries and every handshake.
+//!
+//! Results are printed as a table and emitted machine-readable to
+//! `BENCH_pauses.json` (set `OTF_BENCH_OUT` to override).  The binary
+//! exits non-zero if any pause-quantile sequence is non-monotone
+//! (p50 ≤ p99 ≤ p99.9 ≤ max must hold by construction) or the JSON
+//! cannot be written, so CI can gate on it.
+//!
+//! Accepts the standard figure-harness flags (`--scale`, `--reps`,
+//! `--seed`, `--quick`).
+
+use std::time::Duration;
+
+use otf_bench::measure::Options;
+use otf_bench::table::Table;
+use otf_gc::GcConfig;
+use otf_support::hist::Snapshot;
+use otf_workloads::driver;
+use otf_workloads::{Anagram, Db, Jess, RayTracer, Workload};
+
+/// Merged measurement of one workload × collector configuration.
+struct PauseResult {
+    workload: &'static str,
+    config: &'static str,
+    /// Median elapsed wall time across reps.
+    elapsed: Duration,
+    /// Total cycles across reps.
+    cycles: usize,
+    pause: Snapshot,
+    handshake: Snapshot,
+    alloc_stall: Snapshot,
+    barrier_slow: u64,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Runs `reps` repetitions and merges the histograms (sums counters,
+/// takes the median elapsed time).
+fn run_case(
+    workload: &'static str,
+    w: &dyn Workload,
+    cfg: GcConfig,
+    config: &'static str,
+    o: &Options,
+) -> PauseResult {
+    let mut pause = Snapshot::default();
+    let mut handshake = Snapshot::default();
+    let mut alloc_stall = Snapshot::default();
+    let mut barrier_slow = 0u64;
+    let mut cycles = 0usize;
+    let mut elapses = Vec::new();
+    for rep in 0..o.reps.max(1) {
+        let r = driver::run_workload(w, cfg, o.seed + rep as u64);
+        pause.merge(&r.stats.pause);
+        handshake.merge(&r.stats.handshake);
+        alloc_stall.merge(&r.stats.alloc_stall);
+        barrier_slow += r.stats.barrier_slow_hits;
+        cycles += r.stats.cycles.len();
+        elapses.push(r.elapsed);
+    }
+    elapses.sort_unstable();
+    PauseResult {
+        workload,
+        config,
+        elapsed: elapses[elapses.len() / 2],
+        cycles,
+        pause,
+        handshake,
+        alloc_stall,
+        barrier_slow,
+    }
+}
+
+/// The quantiles every row reports, in required-monotone order.
+const QS: [(f64, &str); 4] = [(0.5, "p50"), (0.99, "p99"), (0.999, "p99.9"), (1.0, "max")];
+
+/// Checks that the pause quantiles are monotone in q and that the last
+/// one equals the recorded maximum.  A violation is a histogram bug, not
+/// measurement noise — fail loudly.
+fn check_monotone(r: &PauseResult) -> Result<(), String> {
+    let vals: Vec<u64> = QS.iter().map(|&(q, _)| r.pause.quantile(q)).collect();
+    for i in 1..vals.len() {
+        if vals[i - 1] > vals[i] {
+            return Err(format!(
+                "{}/{}: pause {} = {} ns > {} = {} ns (non-monotone quantiles)",
+                r.workload,
+                r.config,
+                QS[i - 1].1,
+                vals[i - 1],
+                QS[i].1,
+                vals[i]
+            ));
+        }
+    }
+    if vals[QS.len() - 1] != r.pause.max() {
+        return Err(format!(
+            "{}/{}: pause quantile(1.0) = {} ns != max = {} ns",
+            r.workload,
+            r.config,
+            vals[QS.len() - 1],
+            r.pause.max()
+        ));
+    }
+    Ok(())
+}
+
+/// Event-tracing overhead A/B on one workload: elapsed with the trace
+/// ring enabled over elapsed with it disabled.
+struct TraceOverhead {
+    workload: &'static str,
+    off: Duration,
+    on: Duration,
+}
+
+impl TraceOverhead {
+    fn ratio(&self) -> f64 {
+        if self.off.is_zero() {
+            0.0
+        } else {
+            self.on.as_secs_f64() / self.off.as_secs_f64()
+        }
+    }
+}
+
+fn trace_overhead(w: &dyn Workload, o: &Options) -> TraceOverhead {
+    let off = run_case("db", w, GcConfig::generational(), "gen", o).elapsed;
+    let on = run_case(
+        "db",
+        w,
+        GcConfig::generational().with_event_trace(true),
+        "gen+trace",
+        o,
+    )
+    .elapsed;
+    TraceOverhead {
+        workload: "db",
+        off,
+        on,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn write_json(rows: &[PauseResult], trace: &TraceOverhead, o: &Options, path: &str) {
+    let mut j = String::from("{\n  \"bench\": \"pauses\",\n");
+    j.push_str(&format!(
+        "  \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
+        o.scale, o.reps, o.seed
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"elapsed_ms\": {:.2}, \
+             \"cycles\": {}, \"pauses\": {}, \"max_us\": {:.1}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"handshake_p99_us\": {:.1}, \
+             \"stall_max_us\": {:.1}, \"barrier_slow\": {}}}{}\n",
+            json_escape_free(r.workload),
+            json_escape_free(r.config),
+            r.elapsed.as_secs_f64() * 1e3,
+            r.cycles,
+            r.pause.count(),
+            us(r.pause.max()),
+            us(r.pause.quantile(0.5)),
+            us(r.pause.quantile(0.99)),
+            us(r.pause.quantile(0.999)),
+            us(r.handshake.quantile(0.99)),
+            us(r.alloc_stall.max()),
+            r.barrier_slow,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"trace_overhead\": {{\"workload\": \"{}\", \"off_ms\": {:.2}, \
+         \"on_ms\": {:.2}, \"ratio\": {:.3}}}\n",
+        json_escape_free(trace.workload),
+        trace.off.as_secs_f64() * 1e3,
+        trace.on.as_secs_f64() * 1e3,
+        trace.ratio()
+    ));
+    j.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let o = Options::from_args();
+    let quick = std::env::var_os("OTF_BENCH_QUICK").is_some() || o.scale < 0.2;
+    let wl_scale = if quick { o.scale.min(0.1) } else { o.scale };
+
+    let workloads: [(&'static str, Box<dyn Workload>); 4] = [
+        ("db", Box::new(Db::new().scaled(wl_scale))),
+        ("jess", Box::new(Jess::new().scaled(wl_scale))),
+        ("mtrt", Box::new(RayTracer::mtrt().scaled(wl_scale))),
+        ("anagram", Box::new(Anagram::new().scaled(wl_scale))),
+    ];
+    let configs: [(&'static str, GcConfig); 2] = [
+        ("gen", GcConfig::generational()),
+        ("nogen", GcConfig::non_generational()),
+    ];
+
+    println!("== GC-induced mutator pauses (handshakes + allocation stalls) ==\n");
+    let mut rows = Vec::new();
+    for (name, w) in &workloads {
+        for &(cfg_name, cfg) in &configs {
+            let r = run_case(name, w.as_ref(), cfg, cfg_name, &o);
+            println!(
+                "{name}/{cfg_name:<6} {:>6} pauses  max {:>9.1} us  p99 {:>9.1} us  \
+                 ({} cycles, {:.1} ms)",
+                r.pause.count(),
+                us(r.pause.max()),
+                us(r.pause.quantile(0.99)),
+                r.cycles,
+                r.elapsed.as_secs_f64() * 1e3,
+            );
+            rows.push(r);
+        }
+    }
+
+    let mut violations = 0;
+    for r in &rows {
+        if let Err(e) = check_monotone(r) {
+            eprintln!("error: {e}");
+            violations += 1;
+        }
+    }
+
+    let mut t = Table::new("GC pause quantiles (microseconds, merged across reps)");
+    t.header([
+        "workload",
+        "config",
+        "pauses",
+        "p50",
+        "p99",
+        "p99.9",
+        "max",
+        "hs p99",
+        "stall max",
+        "barrier slow",
+        "cycles",
+    ]);
+    for r in &rows {
+        t.row([
+            r.workload.to_string(),
+            r.config.to_string(),
+            r.pause.count().to_string(),
+            format!("{:.1}", us(r.pause.quantile(0.5))),
+            format!("{:.1}", us(r.pause.quantile(0.99))),
+            format!("{:.1}", us(r.pause.quantile(0.999))),
+            format!("{:.1}", us(r.pause.max())),
+            format!("{:.1}", us(r.handshake.quantile(0.99))),
+            format!("{:.1}", us(r.alloc_stall.max())),
+            r.barrier_slow.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+
+    println!("\n== event-tracing overhead (db, generational) ==\n");
+    let trace = trace_overhead(&Db::new().scaled(wl_scale), &o);
+    println!(
+        "trace off {:.1} ms, trace on {:.1} ms  -> ratio {:.3}",
+        trace.off.as_secs_f64() * 1e3,
+        trace.on.as_secs_f64() * 1e3,
+        trace.ratio()
+    );
+
+    let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_pauses.json".to_string());
+    write_json(&rows, &trace, &o, &path);
+
+    if violations > 0 {
+        eprintln!("{violations} quantile violation(s)");
+        std::process::exit(1);
+    }
+}

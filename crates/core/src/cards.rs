@@ -4,6 +4,7 @@
 use otf_heap::{Color, GRANULE};
 
 use crate::cycle::CycleCx;
+use crate::obs::EventKind;
 use crate::shared::GcShared;
 
 impl GcShared {
@@ -29,6 +30,7 @@ impl GcShared {
         let n_cards = self.cards_in_use();
         cx.counters.cards_in_use = n_cards as u64;
         cx.touch_card_range(0, n_cards);
+        let dirty_before = cx.counters.dirty_cards;
         // The per-card list of black objects to gray lives on the cycle
         // context, reused across cards instead of allocated per card.
         let mut grayed = std::mem::take(&mut cx.scratch_grayed);
@@ -61,6 +63,11 @@ impl GcShared {
             }
         }
         cx.scratch_grayed = grayed;
+        self.obs.event(
+            EventKind::CardClear,
+            cx.counters.dirty_cards - dirty_before,
+            n_cards as u64,
+        );
     }
 
     /// `ClearCards`, aging variant (Figure 6, with the §7.2 three-step
@@ -84,6 +91,7 @@ impl GcShared {
         let n_cards = self.cards_in_use();
         cx.counters.cards_in_use = n_cards as u64;
         cx.touch_card_range(0, n_cards);
+        let dirty_before = cx.counters.dirty_cards;
         let ages = self.heap.ages();
         // Per-card tenured-root list, reused across cards (and cycles).
         let mut tenured_roots = std::mem::take(&mut cx.scratch_tenured);
@@ -145,6 +153,11 @@ impl GcShared {
             }
         }
         cx.scratch_tenured = tenured_roots;
+        self.obs.event(
+            EventKind::CardClear,
+            cx.counters.dirty_cards - dirty_before,
+            n_cards as u64,
+        );
     }
 
     /// `InitFullCollection` (Figures 3 and 6): recolor every black (and

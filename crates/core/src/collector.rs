@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use crate::config::{Mode, Promotion};
 use crate::cycle::CycleCx;
+use crate::obs::{dur_ns, phase, EventKind};
 use crate::shared::GcShared;
 use crate::state::Status;
 use crate::stats::{CycleKind, CycleStats};
@@ -19,11 +20,13 @@ impl GcShared {
         cx.reset();
         self.collecting
             .store(true, std::sync::atomic::Ordering::Release);
+        self.obs.note_cycle_begin(kind);
         let used_before = self.heap.used_bytes();
         let allocated_since_last = self.control.bytes_since_cycle();
 
         // ----- clear (Figure 2/5: "clear: If (full collection) Init...") --
         let t = Instant::now();
+        self.obs.event(EventKind::PhaseBegin, phase::INIT, 0);
         if kind == CycleKind::Full {
             match self.config.mode {
                 // The toggled non-generational baseline needs no
@@ -40,11 +43,16 @@ impl GcShared {
             }
         }
         cx.phases.init = t.elapsed();
+        self.obs
+            .event(EventKind::PhaseEnd, phase::INIT, dur_ns(cx.phases.init));
 
         // ----- first handshake ------------------------------------------
         let t = Instant::now();
+        self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         self.handshake(Status::Sync1);
         cx.phases.handshakes += t.elapsed();
+        self.obs
+            .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
 
         // ----- second handshake: card work and the color toggle ---------
         self.post_handshake(Status::Sync2);
@@ -58,8 +66,11 @@ impl GcShared {
                 // allocation color and card marks for parents of yellow
                 // objects are never lost (§7.1).
                 let tc = Instant::now();
+                self.obs.event(EventKind::PhaseBegin, phase::CARDS, 0);
                 self.clear_cards_simple(cx);
                 cx.phases.cards = tc.elapsed();
+                self.obs
+                    .event(EventKind::PhaseEnd, phase::CARDS, dur_ns(cx.phases.cards));
                 self.colors.toggle();
             }
             Mode::Generational(Promotion::Aging { threshold }) => {
@@ -72,12 +83,16 @@ impl GcShared {
                 self.colors.toggle();
                 if kind == CycleKind::Partial {
                     let tc = Instant::now();
+                    self.obs.event(EventKind::PhaseBegin, phase::CARDS, 0);
                     self.clear_cards_aging(threshold, cx);
                     cx.phases.cards = tc.elapsed();
+                    self.obs
+                        .event(EventKind::PhaseEnd, phase::CARDS, dur_ns(cx.phases.cards));
                 }
             }
         }
         let t = Instant::now();
+        self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         self.wait_handshake();
 
         // ----- third handshake: root marking -----------------------------
@@ -90,26 +105,37 @@ impl GcShared {
         self.mark_global_roots_local(&mut cx.mark_stack);
         self.wait_handshake();
         cx.phases.handshakes += t.elapsed();
+        self.obs
+            .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
 
         // ----- trace ------------------------------------------------------
         let t = Instant::now();
+        self.obs.event(EventKind::PhaseBegin, phase::TRACE, 0);
         self.trace(cx);
         cx.phases.trace = t.elapsed();
+        self.obs
+            .event(EventKind::PhaseEnd, phase::TRACE, dur_ns(cx.phases.trace));
         self.tracing
             .store(false, std::sync::atomic::Ordering::Release);
 
         // ----- sweep ------------------------------------------------------
         let t = Instant::now();
+        self.obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
         self.sweep(cx);
         cx.phases.sweep = t.elapsed();
+        self.obs
+            .event(EventKind::PhaseEnd, phase::SWEEP, dur_ns(cx.phases.sweep));
 
         self.collecting
             .store(false, std::sync::atomic::Ordering::Release);
 
+        let duration = cycle_start.elapsed();
+        self.obs.note_cycle_end(kind, dur_ns(duration));
+
         let c = cx.counters;
         CycleStats {
             kind,
-            duration: cycle_start.elapsed(),
+            duration,
             phases: cx.phases,
             objects_traced: c.objects_traced,
             intergen_objects: c.intergen_objects,
@@ -200,6 +226,11 @@ impl GcShared {
             }
             self.control.consume_allocated(stats.allocated_since_last);
             self.control.note_cycle_done(kind);
+            // Triggers crossed while the cycle ran were deliberately
+            // ignored (`collecting` was set); re-evaluate them now so a
+            // mutator that stopped allocating — or one still below its
+            // next 64 KB batch — cannot starve a due collection.
+            self.evaluate_triggers();
         }
     }
 }

@@ -68,6 +68,11 @@ pub struct GcConfig {
     pub grow_fraction: f64,
     /// LAB (thread-local allocation buffer) size in granules.
     pub lab_granules: u32,
+    /// Whether to record structured GC events into the trace ring
+    /// (drainable as JSONL; see `Gc::events`).  Also enabled by setting
+    /// the `OTF_GC_TRACE` environment variable.  Latency histograms are
+    /// always on; only event tracing is gated.
+    pub trace_events: bool,
 }
 
 impl GcConfig {
@@ -83,6 +88,7 @@ impl GcConfig {
             full_trigger_fraction: 0.75,
             grow_fraction: 0.55,
             lab_granules: otf_heap::DEFAULT_LAB_GRANULES,
+            trace_events: false,
         }
     }
 
@@ -141,6 +147,12 @@ impl GcConfig {
     /// Sets the LAB size in granules.
     pub fn with_lab_granules(mut self, granules: u32) -> GcConfig {
         self.lab_granules = granules.max(1);
+        self
+    }
+
+    /// Enables (or disables) structured GC event tracing.
+    pub fn with_event_trace(mut self, enabled: bool) -> GcConfig {
+        self.trace_events = enabled;
         self
     }
 

@@ -50,8 +50,9 @@
 //!
 //! m.root_pop();
 //! drop(m);
-//! let stats = gc.stats();
-//! gc.shutdown();
+//! // Shutdown joins the collector first, so the returned stats include
+//! // any cycle that was still in flight.
+//! let stats = gc.shutdown();
 //! # let _ = stats;
 //! # Ok::<(), otf_gc::AllocError>(())
 //! ```
@@ -64,6 +65,7 @@ mod config;
 mod control;
 mod cycle;
 mod mutator;
+mod obs;
 mod proptest_cycle;
 mod shared;
 mod state;
@@ -72,16 +74,20 @@ mod sweep;
 mod trace;
 mod verify;
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 pub use config::{GcConfig, Mode, Promotion};
 pub use mutator::{AllocError, Mutator};
+pub use obs::{phase, EventKind, GcEvent};
 pub use stats::{CycleKind, CycleStats, GcStats, PhaseTimes};
 pub use verify::HeapViolation;
 
-// Re-export the heap vocabulary users need at the API boundary.
+// Re-export the heap vocabulary users need at the API boundary, and the
+// histogram snapshot type `GcStats` exposes.
 pub use otf_heap::{Color, Header, ObjShape, ObjectRef};
+pub use otf_support::hist::Snapshot as HistogramSnapshot;
 
 use shared::GcShared;
 
@@ -176,7 +182,8 @@ impl Gc {
         self.shared.heap.bytes_allocated()
     }
 
-    /// A snapshot of all collection statistics.
+    /// A snapshot of all collection statistics, including the pause-time
+    /// histograms.
     pub fn stats(&self) -> GcStats {
         let inner = self.shared.stats.lock();
         GcStats {
@@ -185,7 +192,36 @@ impl Gc {
             bytes_allocated: self.shared.heap.bytes_allocated(),
             elapsed: self.shared.start.elapsed(),
             gc_active: inner.gc_active,
+            pause: self.shared.obs.pause.snapshot(),
+            handshake: self.shared.obs.handshake.snapshot(),
+            alloc_stall: self.shared.obs.alloc_stall.snapshot(),
+            barrier_slow_hits: self.shared.obs.barrier_slow.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether structured event tracing is enabled for this collector
+    /// ([`GcConfig::with_event_trace`] or the `OTF_GC_TRACE` environment
+    /// variable at construction time).
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.obs.tracing_enabled()
+    }
+
+    /// The structured GC events retained in the trace ring, oldest first.
+    /// Empty unless tracing was enabled, via
+    /// [`GcConfig::with_event_trace`] or the `OTF_GC_TRACE` environment
+    /// variable.
+    pub fn events(&self) -> Vec<GcEvent> {
+        self.shared.obs.events()
+    }
+
+    /// Writes the retained trace events as JSON lines (one event per
+    /// line; see [`GcEvent::to_json`] for the schema).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_events_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.shared.obs.write_jsonl(w)
     }
 
     /// Diagnostic: the current color of `obj` (for tests and examples).
@@ -218,17 +254,34 @@ impl Gc {
         self.shared.verify_heap()
     }
 
-    /// Stops the collector thread.  Any later allocation pressure is
+    /// Stops the collector thread and returns the final statistics.  The
+    /// snapshot is taken *after* the collector joins, so any cycle that
+    /// was in flight when shutdown was requested is fully accounted —
+    /// snapshotting before shutdown undercounts exactly the cycles a
+    /// measurement run triggered last.  Any later allocation pressure is
     /// served by heap growth only; mutators never block on a collector
     /// again.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(mut self) -> GcStats {
         self.shutdown_inner();
+        self.stats()
     }
 
     fn shutdown_inner(&mut self) {
         self.shared.control.begin_shutdown();
         if let Some(h) = self.collector.take() {
             let _ = h.join();
+            // With the collector joined the trace ring is quiescent: dump
+            // it if the user asked for a trace file.  Append, so multiple
+            // collectors in one process share the file.
+            if let Some(path) = std::env::var_os("OTF_GC_TRACE") {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = self.shared.obs.write_jsonl(&mut f);
+                }
+            }
         }
     }
 }

@@ -4,10 +4,12 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use otf_heap::{Header, Lab, ObjShape, ObjectRef};
 
 use crate::config::{Mode, Promotion};
+use crate::obs::dur_ns;
 use crate::shared::GcShared;
 use crate::state::{MutatorShared, Status};
 
@@ -167,11 +169,16 @@ impl Mutator {
                 continue;
             }
             // Block for a full collection (we park so the collector can
-            // handshake on our behalf).
+            // handshake on our behalf).  The stall — the one place a
+            // mutator waits for the collector — feeds the pause histogram.
             let fulls = self.shared.control.fulls_done();
             self.shared.control.request_full();
             let shared = Arc::clone(&self.shared);
+            let stall_start = Instant::now();
             let completed = self.parked(move || shared.control.wait_for_full(fulls));
+            self.shared
+                .obs
+                .note_alloc_stall(dur_ns(stall_start.elapsed()));
             if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
                 return Ok(c);
             }
@@ -191,22 +198,11 @@ impl Mutator {
             return;
         }
         let pending = std::mem::take(&mut self.unflushed_bytes);
-        let shared = &self.shared;
-        let since = shared.control.add_allocated(pending as u64);
-        if shared.collecting.load(Ordering::Acquire) {
-            return; // triggers re-evaluated once the cycle finishes
-        }
-        if shared.config.is_generational() && since >= shared.config.young_size as u64 {
-            shared.control.request_partial();
-        }
-        // Full collection when the heap is "almost full" (§3.3) — but only
-        // after some allocation progress, to avoid re-triggering endlessly
-        // on a mostly-live heap.
-        let used = shared.heap.used_bytes() as f64;
-        let committed = shared.heap.committed_bytes() as f64;
-        if used >= shared.config.full_trigger_fraction * committed && since >= (64 << 10) {
-            shared.control.request_full();
-        }
+        self.shared.control.add_allocated(pending as u64);
+        // While a cycle runs this is a no-op; the collector re-evaluates
+        // the triggers itself when the cycle finishes, so a threshold
+        // crossed mid-cycle is never starved waiting for the next batch.
+        self.shared.evaluate_triggers();
     }
 
     // ----- the write barrier (Update, Figures 1 and 4) ------------------
@@ -230,10 +226,12 @@ impl Mutator {
         match self.barrier {
             BarrierKind::NonGenerational => {
                 if !is_async {
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_snapshot(old);
                     shared.mark_gray_snapshot(y);
                 } else if shared.tracing.load(Ordering::Acquire) {
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_clear(old);
                 }
@@ -244,10 +242,12 @@ impl Mutator {
                     // §7.1: in sync1/sync2 the barrier also shades yellow
                     // objects (mark_gray_snapshot shades both young
                     // colors); no card marking is needed in this window.
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_snapshot(old);
                     shared.mark_gray_snapshot(y);
                 } else if shared.tracing.load(Ordering::Acquire) {
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_clear(old);
                     shared.cards.mark_byte(x.byte());
@@ -258,10 +258,12 @@ impl Mutator {
             }
             BarrierKind::Aging => {
                 if !is_async {
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_clear(old);
                     shared.mark_gray_clear(y);
                 } else if shared.tracing.load(Ordering::Acquire) {
+                    shared.obs.barrier_slow.fetch_add(1, Ordering::Relaxed);
                     let old = shared.heap.arena().load_ref_slot(x, i);
                     shared.mark_gray_clear(old);
                 }
@@ -322,6 +324,10 @@ impl Mutator {
         if self.me.status.load(Ordering::Relaxed) == sc {
             return;
         }
+        // Adopting a posted status is this thread's GC pause: time the
+        // safe-point work (root marking on the third handshake) and
+        // record both the pause and the post→ack response latency.
+        let pause_start = Instant::now();
         // Transitions advance one step at a time because the collector
         // waits for all mutators between handshakes.
         if sc == Status::Async as u8 {
@@ -332,6 +338,9 @@ impl Mutator {
             self.me.epoch_exit();
         }
         self.me.status.store(sc, Ordering::Release);
+        self.shared
+            .obs
+            .note_handshake_ack(Status::from_byte(sc), dur_ns(pause_start.elapsed()));
         self.shared.notify_handshake();
         // Hand the CPU to the collector right away: the shorter the
         // sync1/sync2 windows are, the less the snapshot barrier
@@ -421,6 +430,15 @@ impl Mutator {
 
 impl Drop for Mutator {
     fn drop(&mut self) {
+        // Flush allocation bytes still below the batching threshold:
+        // short-lived mutators would otherwise never contribute to the
+        // §3.3 trigger accumulator (many threads each allocating just
+        // under 64 KB could fill the heap without ever triggering).
+        let pending = std::mem::take(&mut self.unflushed_bytes);
+        if pending > 0 {
+            self.shared.control.add_allocated(pending as u64);
+            self.shared.evaluate_triggers();
+        }
         // Return the unallocated LAB tail and leave the handshake protocol.
         if let Some(rest) = self.lab.take_remainder() {
             self.shared.heap.free_chunk(rest);
@@ -555,6 +573,43 @@ mod tests {
         m.cooperate();
         assert_eq!(shared.heap.colors().get(r.granule()), Color::Gray);
         assert_eq!(shared.gray.pop(), Some(r));
+    }
+
+    #[test]
+    fn drop_flushes_unflushed_allocation_bytes() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let obj = m.alloc(&ObjShape::new(0, 10)).unwrap();
+        let _ = obj;
+        // Well below the 64 KB batching threshold: nothing flushed yet.
+        assert_eq!(shared.control.bytes_since_cycle(), 0);
+        drop(m);
+        assert!(shared.control.bytes_since_cycle() > 0);
+    }
+
+    #[test]
+    fn barrier_slow_counts_graying_branches_only() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let y = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        // Async, collector idle: card-mark-only fast path.
+        m.write_ref(x, 0, y);
+        assert_eq!(shared.obs.barrier_slow.load(Ordering::Relaxed), 0);
+        // Sync window: the graying branch is the slow path.
+        shared.post_handshake(Status::Sync1);
+        set_mutator_status(&m, Status::Sync1);
+        m.write_ref(x, 0, y);
+        assert_eq!(shared.obs.barrier_slow.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cooperate_slow_path_records_handshake_latency() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        m.cooperate(); // fast path: statuses agree, nothing recorded
+        assert_eq!(shared.obs.handshake.count(), 0);
+        shared.post_handshake(Status::Sync1);
+        m.cooperate();
+        assert_eq!(shared.obs.handshake.count(), 1);
+        assert_eq!(shared.obs.pause.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Pause-time observability: latency histograms for every
+//! latency-bearing mutator path, and a bounded ring of structured GC
+//! events drainable as JSONL.
+//!
+//! The paper's headline property is that an on-the-fly collector bounds
+//! mutator pauses by **handshake response time**, not heap size.  This
+//! module is how the reproduction measures that claim:
+//!
+//! * [`Obs::pause`] — every GC-induced mutator pause: the
+//!   [`cooperate`](crate::Mutator::cooperate) slow path (adopting a
+//!   posted handshake, including third-handshake root marking) and
+//!   allocation stalls (blocked on a full collection).
+//! * [`Obs::handshake`] — handshake **response latency**: from the
+//!   collector's `postHandshake` to each mutator's adoption in
+//!   `cooperate` (the quantity §7 argues stays small).
+//! * [`Obs::alloc_stall`] — allocation stalls alone (also folded into
+//!   `pause`), the only path where a mutator waits for the collector.
+//! * [`Obs::barrier_slow`] — write-barrier slow-path hits (barriers that
+//!   took a graying branch rather than a plain store + card mark).
+//!
+//! Histogram recording is always on: the record path is lock-free and
+//! allocation-free (see [`otf_support::hist`]) and only runs on paths
+//! that are already slow (a handshake transition, a blocking
+//! allocation), never on the per-store barrier fast path, where only a
+//! single relaxed counter increment is added to the *graying* branches.
+//!
+//! Event tracing is off by default.  [`Obs::event`] costs exactly one
+//! predictable branch on a plain `bool` loaded from the `Obs` struct
+//! when disabled; when enabled (config flag or the `OTF_GC_TRACE`
+//! environment variable) events go into a fixed ring of 2¹⁴ slots via a
+//! wait-free claimed-slot protocol (`fetch_add` on the head, fields
+//! written, then a sequence stamp released).  The ring keeps the most
+//! recent events; draining skips any slot whose stamp does not match,
+//! so a drain racing active recording yields only whole events.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Saturating nanoseconds of a `Duration` (for histograms and events).
+#[inline]
+pub(crate) fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+use otf_support::hist::Histogram;
+
+use crate::state::Status;
+use crate::stats::CycleKind;
+
+/// Phase identifiers used in [`EventKind::PhaseBegin`]/`PhaseEnd` events
+/// (the `a` field).
+pub mod phase {
+    /// `InitFullCollection` (full collections of the generational modes).
+    pub const INIT: u64 = 0;
+    /// A handshake window (posted status → all mutators responded).
+    pub const HANDSHAKE: u64 = 1;
+    /// Dirty-card scanning (`ClearCards`).
+    pub const CARDS: u64 = 2;
+    /// Transitive marking.
+    pub const TRACE: u64 = 3;
+    /// The sweep pass.
+    pub const SWEEP: u64 = 4;
+
+    /// Human-readable phase name (for the JSONL trace).
+    pub fn name(p: u64) -> &'static str {
+        match p {
+            INIT => "init",
+            HANDSHAKE => "handshake",
+            CARDS => "cards",
+            TRACE => "trace",
+            SWEEP => "sweep",
+            _ => "unknown",
+        }
+    }
+}
+
+/// What a [`GcEvent`] describes.  The meaning of the event's `a`/`b`
+/// payload words depends on the kind (documented per variant).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A collection cycle began.  `a` = 0 for partial, 1 for full.
+    CycleBegin = 0,
+    /// A collection cycle finished.  `a` = 0/1 as above, `b` = cycle
+    /// duration in nanoseconds.
+    CycleEnd = 1,
+    /// A collector phase began.  `a` = phase id (see [`phase`]).
+    PhaseBegin = 2,
+    /// A collector phase finished.  `a` = phase id, `b` = phase duration
+    /// in nanoseconds.
+    PhaseEnd = 3,
+    /// The collector posted a handshake.  `a` = posted status
+    /// (0 = async, 1 = sync1, 2 = sync2).
+    HandshakePost = 4,
+    /// A mutator adopted a posted handshake in `cooperate`.  `a` = the
+    /// adopted status, `b` = response latency in nanoseconds.
+    HandshakeAck = 5,
+    /// A `ClearCards` pass finished.  `a` = dirty cards found, `b` =
+    /// cards scanned.
+    CardClear = 6,
+    /// Sweep progress.  `a` = granules processed so far, `b` = the
+    /// frontier granule (total to process).
+    SweepProgress = 7,
+}
+
+impl EventKind {
+    fn from_word(w: u64) -> EventKind {
+        match w {
+            0 => EventKind::CycleBegin,
+            1 => EventKind::CycleEnd,
+            2 => EventKind::PhaseBegin,
+            3 => EventKind::PhaseEnd,
+            4 => EventKind::HandshakePost,
+            5 => EventKind::HandshakeAck,
+            6 => EventKind::CardClear,
+            _ => EventKind::SweepProgress,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            EventKind::CycleBegin => "cycle_begin",
+            EventKind::CycleEnd => "cycle_end",
+            EventKind::PhaseBegin => "phase_begin",
+            EventKind::PhaseEnd => "phase_end",
+            EventKind::HandshakePost => "handshake_post",
+            EventKind::HandshakeAck => "handshake_ack",
+            EventKind::CardClear => "card_clear",
+            EventKind::SweepProgress => "sweep_progress",
+        }
+    }
+}
+
+fn status_name(s: u64) -> &'static str {
+    match s {
+        0 => "async",
+        1 => "sync1",
+        2 => "sync2",
+        _ => "unknown",
+    }
+}
+
+fn cycle_name(k: u64) -> &'static str {
+    if k == 0 {
+        "partial"
+    } else {
+        "full"
+    }
+}
+
+/// One structured GC event from the trace ring.
+#[derive(Copy, Clone, Debug)]
+pub struct GcEvent {
+    /// Nanoseconds since the collector was created.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+impl GcEvent {
+    /// The event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let head = format!("{{\"t_ns\":{},\"ev\":\"{}\"", self.t_ns, self.kind.name());
+        let tail = match self.kind {
+            EventKind::CycleBegin => format!(",\"cycle\":\"{}\"}}", cycle_name(self.a)),
+            EventKind::CycleEnd => {
+                format!(
+                    ",\"cycle\":\"{}\",\"dur_ns\":{}}}",
+                    cycle_name(self.a),
+                    self.b
+                )
+            }
+            EventKind::PhaseBegin => format!(",\"phase\":\"{}\"}}", phase::name(self.a)),
+            EventKind::PhaseEnd => {
+                format!(
+                    ",\"phase\":\"{}\",\"dur_ns\":{}}}",
+                    phase::name(self.a),
+                    self.b
+                )
+            }
+            EventKind::HandshakePost => format!(",\"status\":\"{}\"}}", status_name(self.a)),
+            EventKind::HandshakeAck => format!(
+                ",\"status\":\"{}\",\"latency_ns\":{}}}",
+                status_name(self.a),
+                self.b
+            ),
+            EventKind::CardClear => format!(",\"dirty\":{},\"scanned\":{}}}", self.a, self.b),
+            EventKind::SweepProgress => {
+                format!(",\"granules\":{},\"frontier\":{}}}", self.a, self.b)
+            }
+        };
+        head + &tail
+    }
+}
+
+/// Ring capacity in events (a power of two).  The ring keeps the most
+/// recent `RING_CAP` events; older ones are overwritten.
+const RING_CAP: usize = 1 << 14;
+
+/// One ring slot.  `seq` is stored *last* with release ordering and
+/// holds `position + 1`; a reader accepts the slot only when the
+/// sequence matches the position it expects, so overwritten or
+/// in-flight slots are skipped rather than torn.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+#[derive(Debug)]
+struct EventRing {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl EventRing {
+    fn new() -> EventRing {
+        EventRing {
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAP)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    t_ns: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Wait-free multi-producer record.
+    fn record(&self, t_ns: u64, kind: EventKind, a: u64, b: u64) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[pos as usize & (RING_CAP - 1)];
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Snapshot of the retained events, oldest first.  Slots being
+    /// overwritten concurrently are skipped (sequence mismatch).
+    fn drain(&self) -> Vec<GcEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(RING_CAP as u64);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for pos in start..head {
+            let slot = &self.slots[pos as usize & (RING_CAP - 1)];
+            if slot.seq.load(Ordering::Acquire) != pos + 1 {
+                continue;
+            }
+            out.push(GcEvent {
+                t_ns: slot.t_ns.load(Ordering::Relaxed),
+                kind: EventKind::from_word(slot.kind.load(Ordering::Relaxed)),
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            });
+        }
+        out
+    }
+}
+
+/// The collector's observability state, owned by `GcShared`.
+#[derive(Debug)]
+pub(crate) struct Obs {
+    /// All GC-induced mutator pauses (cooperate slow path + alloc
+    /// stalls), in nanoseconds.
+    pub pause: Histogram,
+    /// Handshake response latency: `postHandshake` → `cooperate`
+    /// adoption, in nanoseconds.
+    pub handshake: Histogram,
+    /// Allocation stalls: time a mutator spent blocked on a full
+    /// collection, in nanoseconds.
+    pub alloc_stall: Histogram,
+    /// Write-barrier slow-path hits (graying branches taken).
+    pub barrier_slow: AtomicU64,
+    /// Whether event tracing is enabled.  Plain bool fixed at
+    /// construction: the disabled cost of [`Obs::event`] is one
+    /// predictable load + branch.
+    enabled: bool,
+    /// Timestamp origin for `t_ns`.
+    start: Instant,
+    /// When the collector last posted a handshake (ns since `start`).
+    hs_posted_ns: AtomicU64,
+    ring: EventRing,
+}
+
+impl Obs {
+    pub(crate) fn new(enabled: bool) -> Obs {
+        Obs {
+            pause: Histogram::new(),
+            handshake: Histogram::new(),
+            alloc_stall: Histogram::new(),
+            barrier_slow: AtomicU64::new(0),
+            enabled,
+            start: Instant::now(),
+            hs_posted_ns: AtomicU64::new(0),
+            ring: EventRing::new(),
+        }
+    }
+
+    /// Whether event tracing is on.
+    pub(crate) fn tracing_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanoseconds since collector creation (saturating).
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Emits a trace event.  When tracing is disabled this is a single
+    /// predictable load-and-branch.
+    #[inline]
+    pub(crate) fn event(&self, kind: EventKind, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.record(self.now_ns(), kind, a, b);
+    }
+
+    /// Collector side: a handshake was posted.  Must be called *before*
+    /// the status store so every mutator that observes the new status
+    /// also observes a post timestamp at least this fresh.
+    pub(crate) fn note_handshake_post(&self, s: Status) {
+        self.hs_posted_ns.store(self.now_ns(), Ordering::Relaxed);
+        self.event(EventKind::HandshakePost, s as u64, 0);
+    }
+
+    /// Mutator side: `cooperate` adopted status `s` after `pause_ns`
+    /// nanoseconds of safe-point work.  Records the handshake response
+    /// latency (post → now) and the pause itself.
+    pub(crate) fn note_handshake_ack(&self, s: Status, pause_ns: u64) {
+        let latency = self
+            .now_ns()
+            .saturating_sub(self.hs_posted_ns.load(Ordering::Relaxed));
+        self.handshake.record(latency);
+        self.pause.record(pause_ns);
+        self.event(EventKind::HandshakeAck, s as u64, latency);
+    }
+
+    /// Mutator side: an allocation blocked on a full collection for
+    /// `stall_ns` nanoseconds.
+    pub(crate) fn note_alloc_stall(&self, stall_ns: u64) {
+        self.alloc_stall.record(stall_ns);
+        self.pause.record(stall_ns);
+    }
+
+    /// Collector side: a cycle began.
+    pub(crate) fn note_cycle_begin(&self, kind: CycleKind) {
+        self.event(EventKind::CycleBegin, cycle_word(kind), 0);
+    }
+
+    /// Collector side: a cycle finished after `dur_ns` nanoseconds.
+    pub(crate) fn note_cycle_end(&self, kind: CycleKind, dur_ns: u64) {
+        self.event(EventKind::CycleEnd, cycle_word(kind), dur_ns);
+    }
+
+    /// The retained trace events, oldest first.
+    pub(crate) fn events(&self) -> Vec<GcEvent> {
+        self.ring.drain()
+    }
+
+    /// Writes the retained events as JSON lines.
+    pub(crate) fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for e in self.events() {
+            writeln!(w, "{}", e.to_json())?;
+        }
+        Ok(())
+    }
+}
+
+fn cycle_word(kind: CycleKind) -> u64 {
+    match kind {
+        CycleKind::Partial => 0,
+        CycleKind::Full => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let obs = Obs::new(false);
+        obs.event(EventKind::CycleBegin, 1, 0);
+        obs.note_cycle_begin(CycleKind::Full);
+        assert!(obs.events().is_empty());
+        // Histograms still record regardless of the tracing flag.
+        obs.note_alloc_stall(500);
+        assert_eq!(obs.alloc_stall.count(), 1);
+        assert_eq!(obs.pause.count(), 1);
+    }
+
+    #[test]
+    fn enabled_ring_round_trips_events() {
+        let obs = Obs::new(true);
+        obs.note_cycle_begin(CycleKind::Full);
+        obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
+        obs.event(EventKind::PhaseEnd, phase::SWEEP, 1234);
+        obs.note_cycle_end(CycleKind::Full, 9999);
+        let evs = obs.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].kind, EventKind::CycleBegin);
+        assert_eq!(evs[0].a, 1);
+        assert_eq!(evs[2].b, 1234);
+        assert_eq!(evs[3].kind, EventKind::CycleEnd);
+        // Timestamps never go backwards for single-threaded recording.
+        assert!(evs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_on_overflow() {
+        let obs = Obs::new(true);
+        let total = RING_CAP as u64 + 100;
+        for i in 0..total {
+            obs.event(EventKind::SweepProgress, i, total);
+        }
+        let evs = obs.events();
+        assert_eq!(evs.len(), RING_CAP);
+        assert_eq!(evs.first().unwrap().a, 100);
+        assert_eq!(evs.last().unwrap().a, total - 1);
+    }
+
+    #[test]
+    fn handshake_latency_measured_from_post() {
+        let obs = Obs::new(false);
+        obs.note_handshake_post(Status::Sync1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        obs.note_handshake_ack(Status::Sync1, 10);
+        assert_eq!(obs.handshake.count(), 1);
+        assert!(
+            obs.handshake.max() >= 1_000_000,
+            "latency {} ns should cover the 2 ms sleep",
+            obs.handshake.max()
+        );
+        assert_eq!(obs.pause.max(), 10);
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let obs = Obs::new(true);
+        obs.note_handshake_post(Status::Sync2);
+        obs.note_handshake_ack(Status::Sync2, 77);
+        obs.event(EventKind::CardClear, 5, 300);
+        let mut buf = Vec::new();
+        obs.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with("{\"t_ns\":"), "bad line: {line}");
+            assert!(line.ends_with('}'), "bad line: {line}");
+            // Balanced quotes: an even count of '"'.
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+        assert!(lines[0].contains("\"ev\":\"handshake_post\""));
+        assert!(lines[0].contains("\"status\":\"sync2\""));
+        assert!(lines[1].contains("\"latency_ns\":"));
+        assert!(lines[2].contains("\"dirty\":5"));
+    }
+
+    #[test]
+    fn concurrent_recording_yields_whole_events() {
+        let obs = std::sync::Arc::new(Obs::new(true));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let obs = std::sync::Arc::clone(&obs);
+                s.spawn(move || {
+                    for i in 0..5000u64 {
+                        obs.event(EventKind::SweepProgress, t, i);
+                    }
+                });
+            }
+        });
+        let evs = obs.events();
+        assert_eq!(evs.len(), RING_CAP.min(20_000));
+        // Every drained event is one that some thread actually wrote.
+        assert!(evs.iter().all(|e| e.a < 4 && e.b < 5000));
+    }
+}

@@ -11,6 +11,7 @@ use otf_support::sync::{Condvar, Mutex};
 
 use crate::config::GcConfig;
 use crate::control::Control;
+use crate::obs::Obs;
 use crate::state::{ColorState, MutatorShared, Status};
 use crate::stats::CycleStats;
 
@@ -43,6 +44,8 @@ pub(crate) struct GcShared {
     pub globals: Mutex<Vec<ObjectRef>>,
     pub control: Control,
     pub stats: Mutex<StatsInner>,
+    /// Pause histograms and the GC event trace ring.
+    pub obs: Obs,
     pub start: Instant,
     /// Handshake wakeup: mutators notify after adopting a posted status
     /// (and when parking), so the collector sleeps instead of spinning —
@@ -79,6 +82,7 @@ impl GcShared {
             globals: Mutex::new(Vec::new()),
             control: Control::new(),
             stats: Mutex::new(StatsInner::default()),
+            obs: Obs::new(config.trace_events || std::env::var_os("OTF_GC_TRACE").is_some()),
             start: Instant::now(),
             hs_lock: Mutex::new(()),
             hs_cond: Condvar::new(),
@@ -186,10 +190,40 @@ impl GcShared {
         }
     }
 
+    /// Evaluates the §3.3 collection triggers against the current
+    /// accumulator and heap occupancy, requesting a partial and/or full
+    /// collection as needed.  Shared by the allocation slow path, the
+    /// collector's end-of-cycle check (so a trigger crossed *during* a
+    /// cycle is not starved until the next 64 KB allocation batch), and
+    /// `Mutator::drop` (which flushes its unflushed bytes first).
+    ///
+    /// A no-op while a cycle is running: the collector re-evaluates when
+    /// it finishes.
+    pub(crate) fn evaluate_triggers(&self) {
+        if self.collecting.load(Ordering::Acquire) {
+            return;
+        }
+        let since = self.control.bytes_since_cycle();
+        if self.config.is_generational() && since >= self.config.young_size as u64 {
+            self.control.request_partial();
+        }
+        // Full collection when the heap is "almost full" (§3.3) — but only
+        // after some allocation progress, to avoid re-triggering endlessly
+        // on a mostly-live heap.
+        let used = self.heap.used_bytes() as f64;
+        let committed = self.heap.committed_bytes() as f64;
+        if used >= self.config.full_trigger_fraction * committed && since >= (64 << 10) {
+            self.control.request_full();
+        }
+    }
+
     // ----- handshakes (§7: postHandshake / waitHandshake) -----
 
-    /// `postHandshake(s)`: announce the new status.
+    /// `postHandshake(s)`: announce the new status.  The post timestamp
+    /// is recorded first, so any mutator that observes the new status
+    /// also observes a post time at least this fresh.
     pub(crate) fn post_handshake(&self, s: Status) {
+        self.obs.note_handshake_post(s);
         self.status_c.store(s as u8, Ordering::Release);
     }
 
@@ -440,6 +474,49 @@ mod tests {
         sh.add_global_root(obj);
         sh.mark_global_roots();
         assert_eq!(sh.heap.colors().get(obj.granule()), Color::Gray);
+    }
+
+    #[test]
+    fn evaluate_triggers_requests_partial_past_young_budget() {
+        let sh = GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(8 << 20)
+                .with_initial_heap(8 << 20)
+                .with_young_size(1 << 20),
+        );
+        sh.control.add_allocated(1 << 20);
+        sh.evaluate_triggers();
+        assert_eq!(
+            sh.control.next_request(),
+            Some(crate::stats::CycleKind::Partial)
+        );
+    }
+
+    #[test]
+    fn evaluate_triggers_noop_while_collecting() {
+        let sh = small();
+        sh.control.add_allocated(64 << 20);
+        sh.collecting.store(true, Ordering::Release);
+        sh.evaluate_triggers();
+        sh.control.begin_shutdown();
+        assert_eq!(sh.control.next_request(), None);
+    }
+
+    #[test]
+    fn evaluate_triggers_requests_full_when_almost_full() {
+        let sh = small(); // 1 MB heap
+                          // Fill past the 75% trigger fraction (1024-granule = 8 KB chunks).
+        while sh.heap.used_bytes() * 4 < sh.heap.committed_bytes() * 3 {
+            if sh.heap.alloc_chunk(1024, 1024).is_none() {
+                break;
+            }
+        }
+        sh.control.add_allocated(128 << 10); // past the progress floor
+        sh.evaluate_triggers();
+        assert_eq!(
+            sh.control.next_request(),
+            Some(crate::stats::CycleKind::Full)
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Collection statistics — every quantity the paper's evaluation reports
-//! (Figures 10–15 and 21–23).
+//! (Figures 10–15 and 21–23), plus the pause-time histograms the paper's
+//! §8.2 latency discussion calls for.
 
 use std::time::Duration;
+
+use otf_support::hist::Snapshot;
 
 /// Kind of a collection cycle.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -140,6 +143,23 @@ pub struct GcStats {
     pub elapsed: Duration,
     /// Total time a collection cycle was active (sum of cycle durations).
     pub gc_active: Duration,
+    /// Histogram of every GC-induced mutator pause, in nanoseconds: the
+    /// `cooperate` slow path (handshake adoption, including root marking
+    /// on the third handshake) and allocation stalls.  The paper's
+    /// central claim is that these stay bounded by handshake response
+    /// time rather than heap size.
+    pub pause: Snapshot,
+    /// Histogram of handshake response latency (`postHandshake` → a
+    /// mutator's adoption in `cooperate`), in nanoseconds.
+    pub handshake: Snapshot,
+    /// Histogram of allocation stalls (mutator blocked on a full
+    /// collection), in nanoseconds.  Also folded into [`pause`].
+    ///
+    /// [`pause`]: GcStats::pause
+    pub alloc_stall: Snapshot,
+    /// Write-barrier slow-path hits: barriers that took a graying branch
+    /// rather than a plain store (+ card mark).
+    pub barrier_slow_hits: u64,
 }
 
 impl GcStats {
@@ -233,6 +253,21 @@ impl GcStats {
     pub fn avg_intergen_bytes(&self, kind: CycleKind) -> Option<f64> {
         self.mean_over(kind, |c| c.intergen_bytes as f64)
     }
+
+    /// The longest GC-induced mutator pause observed.
+    pub fn max_pause(&self) -> Duration {
+        Duration::from_nanos(self.pause.max())
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of GC-induced mutator pauses.
+    pub fn pause_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.pause.quantile(q))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of handshake response latency.
+    pub fn handshake_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.handshake.quantile(q))
+    }
 }
 
 #[cfg(test)]
@@ -295,12 +330,29 @@ mod tests {
             bytes_allocated: 260 * 32,
             elapsed: Duration::from_millis(100),
             gc_active: Duration::from_millis(30),
+            ..GcStats::default()
         };
         assert_eq!(stats.partial_count(), 2);
         assert_eq!(stats.full_count(), 1);
         assert_eq!(stats.avg_objects_freed(CycleKind::Partial), Some(20.0));
         assert_eq!(stats.avg_objects_freed(CycleKind::Full), Some(100.0));
         assert!((stats.percent_time_gc_active() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pause_helpers_read_histograms() {
+        let h = otf_support::hist::Histogram::new();
+        h.record(1_000);
+        h.record(2_000);
+        let stats = GcStats {
+            pause: h.snapshot(),
+            ..GcStats::default()
+        };
+        assert_eq!(stats.max_pause(), Duration::from_nanos(2_000));
+        assert!(stats.pause_quantile(0.5) <= stats.pause_quantile(1.0));
+        assert_eq!(stats.pause_quantile(1.0), stats.max_pause());
+        // Empty histograms answer zero, not garbage.
+        assert_eq!(stats.handshake_quantile(0.99), Duration::ZERO);
     }
 
     #[test]

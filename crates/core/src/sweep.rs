@@ -24,6 +24,7 @@ use otf_heap::{Chunk, Color, GRANULE};
 
 use crate::config::{Mode, Promotion};
 use crate::cycle::CycleCx;
+use crate::obs::EventKind;
 use crate::shared::GcShared;
 
 /// Reclaimed chunks accumulate in a batch and are published to the free
@@ -63,6 +64,8 @@ impl GcShared {
                 if batch.len() >= SWEEP_FLUSH_CHUNKS {
                     self.heap.free_chunk_batch(&batch);
                     batch.clear();
+                    self.obs
+                        .event(EventKind::SweepProgress, g as u64, end as u64);
                 }
                 g = next;
                 continue;
@@ -95,6 +98,8 @@ impl GcShared {
                 if batch.len() >= SWEEP_FLUSH_CHUNKS {
                     self.heap.free_chunk_batch(&batch);
                     batch.clear();
+                    self.obs
+                        .event(EventKind::SweepProgress, g as u64, end as u64);
                 }
                 cx.counters.objects_survived += 1;
                 cx.counters.bytes_survived += (size * GRANULE) as u64;
@@ -129,6 +134,8 @@ impl GcShared {
         }
         Self::flush_run(&mut run, &mut batch);
         self.heap.free_chunk_batch(&batch);
+        self.obs
+            .event(EventKind::SweepProgress, end as u64, end as u64);
     }
 
     /// Moves a finished reclaimed run into the pending batch (inserted

@@ -29,10 +29,15 @@ pub struct Stats {
     pub iters_per_sample: u64,
 }
 
+/// Nearest-rank percentile: the smallest sample such that at least
+/// `⌈p·n⌉` of the `n` samples are ≤ it.  (A round-to-nearest index would
+/// bias upward on small sample counts — e.g. it turned the p50 of an
+/// even-sized sample into the *upper* middle value.)
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     debug_assert!(!sorted.is_empty());
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// The benchmark runner: accumulates named results and prints a summary.
@@ -201,6 +206,29 @@ mod tests {
         let v: Vec<Duration> = (1..=10).map(Duration::from_nanos).collect();
         assert_eq!(percentile(&v, 0.0), Duration::from_nanos(1));
         assert_eq!(percentile(&v, 1.0), Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn percentile_nearest_rank_small_n() {
+        // Single sample: every percentile is that sample.
+        let one = [Duration::from_nanos(7)];
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&one, p), one[0]);
+        }
+        // Even n: the median is the LOWER middle value (rank ⌈0.5·4⌉ = 2),
+        // where round-to-nearest-index picked the upper one.
+        let four: Vec<Duration> = (1..=4).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&four, 0.5), Duration::from_nanos(2));
+        // Quick mode's 10 samples: p90 is the 9th value (rank ⌈9.0⌉ = 9),
+        // not the maximum; p95 legitimately resolves to the 10th (there is
+        // no sample between the 90th and 100th percentile of 10 samples).
+        let ten: Vec<Duration> = (1..=10).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&ten, 0.9), Duration::from_nanos(9));
+        assert_eq!(percentile(&ten, 0.95), Duration::from_nanos(10));
+        // 20 samples resolve p95 below the maximum: rank ⌈19.0⌉ = 19.
+        let twenty: Vec<Duration> = (1..=20).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&twenty, 0.95), Duration::from_nanos(19));
+        assert_eq!(percentile(&twenty, 0.5), Duration::from_nanos(10));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   generator plus shrink-by-halving, replacing `proptest`.
 //! * [`bench`] — a minimal statistical micro-benchmark harness (warmup,
 //!   N samples, median/p95), replacing `criterion`.
+//! * [`hist`] — a mergeable, log-bucketed concurrent latency histogram
+//!   with a lock-free, allocation-free record path, replacing
+//!   `hdrhistogram` (the substrate of the collector's pause-time
+//!   observability).
 //! * [`tablescan`] — SWAR word-at-a-time scanning kernels over
 //!   `[AtomicU8]` side tables (skip, run-end, count, bulk fill), the
 //!   substrate under the collector's sweep and card scans.
@@ -29,6 +33,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod hist;
 pub mod queue;
 pub mod rand;
 pub mod sync;

@@ -19,7 +19,8 @@ use crate::Workload;
 pub struct RunResult {
     /// Wall-clock time of the application run (threads spawned → joined).
     pub elapsed: Duration,
-    /// Collector statistics snapshot taken right after the run.
+    /// Final collector statistics, snapshotted after collector shutdown
+    /// so a cycle still running when the threads joined is included.
     pub stats: GcStats,
 }
 
@@ -32,6 +33,16 @@ impl RunResult {
         } else {
             100.0 * self.stats.gc_active.as_secs_f64() / self.elapsed.as_secs_f64()
         }
+    }
+
+    /// The longest GC-induced mutator pause of the run.
+    pub fn max_pause(&self) -> Duration {
+        self.stats.max_pause()
+    }
+
+    /// The 99th-percentile GC-induced mutator pause of the run.
+    pub fn pause_p99(&self) -> Duration {
+        self.stats.pause_quantile(0.99)
     }
 }
 
@@ -48,8 +59,11 @@ pub fn run_workload(workload: &dyn Workload, config: GcConfig, seed: u64) -> Run
         }
     });
     let elapsed = start.elapsed();
-    let stats = gc.stats();
-    gc.shutdown();
+    // Shutdown first, snapshot second: `Gc::shutdown` joins the collector
+    // thread, so a cycle that was mid-flight when the mutators finished
+    // lands in the stats instead of being silently dropped (it used to be
+    // exactly the last collection a run triggered that went missing).
+    let stats = gc.shutdown();
     RunResult { elapsed, stats }
 }
 

@@ -1,0 +1,137 @@
+//! End-to-end tests for the pause-time observability pipeline: every
+//! `cooperate()` that adopts a handshake during a collection must land in
+//! the handshake/pause histograms, the trace ring must tell a coherent
+//! story (cycles begin and end, handshakes are posted and acked), and
+//! `Gc::shutdown` must return statistics that include the final cycle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use otf_gengc::gc::{EventKind, Gc, GcConfig};
+
+fn tiny(cfg: GcConfig) -> GcConfig {
+    cfg.with_max_heap(4 << 20)
+        .with_initial_heap(1 << 20)
+        .with_young_size(64 << 10)
+}
+
+/// Runs `cycles` blocking full collections while one mutator thread does
+/// nothing but `cooperate()` — so every handshake of every cycle is
+/// answered by a live (never parked, never allocating) mutator — and
+/// returns the Gc for inspection.
+fn run_cooperating_cycles(cfg: GcConfig, cycles: usize) -> Gc {
+    let gc = Gc::new(tiny(cfg));
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut m = gc.mutator();
+        let stop = &stop;
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                m.cooperate();
+                std::hint::spin_loop();
+            }
+        });
+        for _ in 0..cycles {
+            gc.collect_full_blocking();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    gc
+}
+
+#[test]
+fn every_cooperate_during_a_cycle_lands_in_the_histograms() {
+    let gc = run_cooperating_cycles(GcConfig::generational(), 2);
+    let stats = gc.stats();
+
+    // Each full cycle posts three handshakes (Sync1, Sync2, Async) and the
+    // cooperating mutator acks each one exactly once.
+    assert!(
+        stats.handshake.count() >= 6,
+        "expected >= 6 handshake acks for 2 full cycles, got {}",
+        stats.handshake.count()
+    );
+    // Every ack is also a recorded mutator pause.
+    assert!(
+        stats.pause.count() >= 6,
+        "expected >= 6 pauses, got {}",
+        stats.pause.count()
+    );
+    assert!(stats.max_pause() > Duration::ZERO);
+    assert_eq!(stats.pause_quantile(1.0), stats.max_pause());
+
+    // Quantiles must be monotone in q, and the handshake histogram's
+    // latencies are real (post -> adoption takes nonzero time).
+    let qs = [0.5, 0.9, 0.99, 0.999, 1.0];
+    for w in qs.windows(2) {
+        assert!(
+            stats.pause_quantile(w[0]) <= stats.pause_quantile(w[1]),
+            "pause quantiles not monotone at q={} vs q={}",
+            w[0],
+            w[1]
+        );
+        assert!(
+            stats.handshake_quantile(w[0]) <= stats.handshake_quantile(w[1]),
+            "handshake quantiles not monotone at q={} vs q={}",
+            w[0],
+            w[1]
+        );
+    }
+    assert!(stats.handshake_quantile(1.0) > Duration::ZERO);
+}
+
+#[test]
+fn trace_ring_records_a_coherent_cycle_story() {
+    let gc = run_cooperating_cycles(GcConfig::generational().with_event_trace(true), 2);
+    assert!(gc.tracing_enabled());
+
+    let events = gc.events();
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+
+    assert!(count(EventKind::CycleBegin) >= 2, "events: {events:?}");
+    assert!(count(EventKind::CycleEnd) >= 2);
+    // 3 handshakes per full cycle, each posted once and acked by the one
+    // cooperating mutator.
+    assert!(count(EventKind::HandshakePost) >= 6);
+    assert!(count(EventKind::HandshakeAck) >= 6);
+    // Begin/end pairing and timestamps are sane.
+    assert_eq!(count(EventKind::PhaseBegin), count(EventKind::PhaseEnd));
+    for w in events.windows(2) {
+        assert!(w[0].t_ns <= w[1].t_ns, "events out of order: {w:?}");
+    }
+
+    // The JSONL form is one object per line with the documented keys.
+    let mut buf = Vec::new();
+    gc.write_events_jsonl(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), events.len());
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(
+            line.contains("\"t_ns\":") && line.contains("\"ev\":"),
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn tracing_is_off_by_default_and_histograms_still_work() {
+    let gc = run_cooperating_cycles(GcConfig::generational(), 1);
+    assert!(!gc.tracing_enabled());
+    assert!(gc.events().is_empty());
+    assert!(gc.stats().handshake.count() >= 3);
+}
+
+#[test]
+fn shutdown_returns_stats_including_the_final_cycle() {
+    let gc = run_cooperating_cycles(GcConfig::non_generational(), 2);
+    let live = gc.stats();
+    let final_stats = gc.shutdown();
+
+    assert!(final_stats.cycles.len() >= 2);
+    // Shutdown snapshots after the collector joins, so nothing recorded
+    // before the live snapshot can be missing from the final one.
+    assert!(final_stats.cycles.len() >= live.cycles.len());
+    assert!(final_stats.pause.count() >= live.pause.count());
+    assert!(final_stats.max_pause() >= live.max_pause());
+}
