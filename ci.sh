@@ -26,3 +26,10 @@ OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_pauses_ci.json \
     ./target/release/bench_pauses --quick
 grep -q '"bench": "pauses"' target/BENCH_pauses_ci.json
 grep -q '"workload": "db"' target/BENCH_pauses_ci.json
+
+# Chaos smoke: the fixed-seed fault-injection matrix (debug build — the
+# debug_asserts on the hardened failure paths must hold too).  The binary
+# exits non-zero on a hang, a heap violation after any schedule, a
+# non-reproducible injection sequence, or uncontained collector death.
+cargo build --offline -p otf-bench --bin stress_chaos
+./target/debug/stress_chaos --quick --seed 42

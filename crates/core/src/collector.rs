@@ -17,6 +17,7 @@ impl GcShared {
     /// the allocation color.
     pub(crate) fn run_cycle(&self, kind: CycleKind, cx: &mut CycleCx) -> CycleStats {
         let cycle_start = Instant::now();
+        otf_support::fault::point("collector.phase");
         cx.reset();
         self.collecting
             .store(true, std::sync::atomic::Ordering::Release);
@@ -47,6 +48,7 @@ impl GcShared {
             .event(EventKind::PhaseEnd, phase::INIT, dur_ns(cx.phases.init));
 
         // ----- first handshake ------------------------------------------
+        otf_support::fault::point("collector.phase");
         let t = Instant::now();
         self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         self.handshake(Status::Sync1);
@@ -55,6 +57,7 @@ impl GcShared {
             .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
 
         // ----- second handshake: card work and the color toggle ---------
+        otf_support::fault::point("collector.phase");
         self.post_handshake(Status::Sync2);
         match self.config.mode {
             Mode::NonGenerational => {
@@ -109,6 +112,7 @@ impl GcShared {
             .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
 
         // ----- trace ------------------------------------------------------
+        otf_support::fault::point("collector.phase");
         let t = Instant::now();
         self.obs.event(EventKind::PhaseBegin, phase::TRACE, 0);
         self.trace(cx);
@@ -119,6 +123,7 @@ impl GcShared {
             .store(false, std::sync::atomic::Ordering::Release);
 
         // ----- sweep ------------------------------------------------------
+        otf_support::fault::point("collector.phase");
         let t = Instant::now();
         self.obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
         self.sweep(cx);
@@ -161,6 +166,12 @@ impl GcShared {
         let mut cx = CycleCx::new(&self);
         let mut alloc_at_last_full = 0u64;
         while let Some(kind) = self.control.next_request() {
+            // Chaos hook: a failing injection here kills the collector
+            // thread, exercising the panic-containment path (poisoned
+            // shutdown, `AllocError::CollectorUnavailable`).
+            if otf_support::fault::point("collector.panic") {
+                panic!("injected collector panic (chaos fault plan)");
+            }
             // Re-validate partial requests: a mutator can re-post one in
             // the window between this loop consuming the previous request
             // and the cycle publishing its `collecting` flag, against an

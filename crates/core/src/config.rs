@@ -73,6 +73,13 @@ pub struct GcConfig {
     /// the `OTF_GC_TRACE` environment variable.  Latency histograms are
     /// always on; only event tracing is gated.
     pub trace_events: bool,
+    /// Handshake-watchdog stall threshold in milliseconds: when a
+    /// handshake has been outstanding this long, the collector names the
+    /// non-cooperating mutators on stderr (and dumps the event-trace
+    /// ring, when tracing is on) instead of hanging silently, then keeps
+    /// waiting — the protocol cannot proceed without the ack, but the
+    /// hang is now diagnosable.  `0` disables the watchdog.
+    pub handshake_stall_ms: u64,
 }
 
 impl GcConfig {
@@ -89,6 +96,7 @@ impl GcConfig {
             grow_fraction: 0.55,
             lab_granules: otf_heap::DEFAULT_LAB_GRANULES,
             trace_events: false,
+            handshake_stall_ms: 1000,
         }
     }
 
@@ -153,6 +161,13 @@ impl GcConfig {
     /// Enables (or disables) structured GC event tracing.
     pub fn with_event_trace(mut self, enabled: bool) -> GcConfig {
         self.trace_events = enabled;
+        self
+    }
+
+    /// Sets the handshake-watchdog stall threshold in milliseconds
+    /// (`0` disables the watchdog).
+    pub fn with_handshake_stall_ms(mut self, ms: u64) -> GcConfig {
+        self.handshake_stall_ms = ms;
         self
     }
 

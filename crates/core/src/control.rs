@@ -33,6 +33,11 @@ pub(crate) struct Control {
     done_cond: Condvar,
     bytes_since_cycle: AtomicU64,
     shutdown: AtomicBool,
+    /// The collector thread panicked: no collection will ever complete
+    /// again.  Like shutdown, but reported to blocked allocators as
+    /// [`AllocError::CollectorUnavailable`](crate::AllocError) instead of
+    /// silently degrading to grow-only mode.
+    poisoned: AtomicBool,
 }
 
 impl Control {
@@ -44,6 +49,7 @@ impl Control {
             done_cond: Condvar::new(),
             bytes_since_cycle: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -71,7 +77,7 @@ impl Control {
     pub(crate) fn next_request(&self) -> Option<CycleKind> {
         let mut p = self.pending.lock();
         loop {
-            if self.shutdown.load(Ordering::Acquire) {
+            if self.shutdown.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire) {
                 return None;
             }
             if p.full {
@@ -114,7 +120,7 @@ impl Control {
     pub(crate) fn wait_for_full(&self, observed_fulls: u64) -> bool {
         let mut d = self.done.lock();
         while d.fulls <= observed_fulls {
-            if self.shutdown.load(Ordering::Acquire) {
+            if self.shutdown.load(Ordering::Acquire) || self.poisoned.load(Ordering::Acquire) {
                 return false;
             }
             self.done_cond.wait(&mut d);
@@ -150,6 +156,31 @@ impl Control {
     /// Whether shutdown has been signalled.
     pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Marks the control poisoned (the collector thread died) and wakes
+    /// every waiter: the collector's request queue (its thread is gone,
+    /// but a re-spawned loop would observe the flag) and — critically —
+    /// every mutator parked in [`wait_for_full`](Control::wait_for_full),
+    /// which would otherwise sleep forever on a collection that can no
+    /// longer happen.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Lock-then-notify on both condvars so a waiter between its flag
+        // check and its wait cannot miss the wakeup.
+        {
+            let _p = self.pending.lock();
+            self.wake.notify_all();
+        }
+        {
+            let _d = self.done.lock();
+            self.done_cond.notify_all();
+        }
+    }
+
+    /// Whether the collector thread has panicked.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 }
 
@@ -207,6 +238,20 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         c.note_cycle_done(CycleKind::Full);
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_full_bails_on_poison() {
+        let c = Arc::new(Control::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.wait_for_full(5));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!c.is_poisoned());
+        c.poison();
+        assert!(!h.join().unwrap());
+        assert!(c.is_poisoned());
+        // Poison also unblocks the collector's request wait.
+        assert_eq!(c.next_request(), None);
     }
 
     #[test]

@@ -115,7 +115,21 @@ impl Gc {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("otf-gc-collector".into())
-                .spawn(move || shared.collector_loop())
+                .spawn(move || {
+                    // Contain a collector panic: without this, mutators
+                    // parked on `wait_for_full` sleep forever on a
+                    // collection that will never complete.  The poisoned
+                    // state wakes them and turns further allocation
+                    // pressure into `AllocError::CollectorUnavailable`.
+                    let loop_shared = Arc::clone(&shared);
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            loop_shared.collector_loop()
+                        }));
+                    if result.is_err() {
+                        shared.poison_after_panic();
+                    }
+                })
                 .expect("spawn collector thread")
         };
         Gc {
@@ -196,7 +210,18 @@ impl Gc {
             handshake: self.shared.obs.handshake.snapshot(),
             alloc_stall: self.shared.obs.alloc_stall.snapshot(),
             barrier_slow_hits: self.shared.obs.barrier_slow.load(Ordering::Relaxed),
+            dropped_events: self.shared.obs.events_dropped(),
+            watchdog_trips: self.shared.obs.watchdog_trips.load(Ordering::Relaxed),
+            collector_poisoned: self.shared.control.is_poisoned(),
         }
+    }
+
+    /// Whether the collector thread has panicked (poisoned shutdown).
+    /// Once true, no collection will ever run again: allocation falls
+    /// back to heap growth and fails with
+    /// [`AllocError::CollectorUnavailable`] once the heap is exhausted.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.control.is_poisoned()
     }
 
     /// Whether structured event tracing is enabled for this collector
@@ -252,6 +277,22 @@ impl Gc {
     /// mutators parked or dropped).
     pub fn verify_heap(&self) -> Vec<HeapViolation> {
         self.shared.verify_heap()
+    }
+
+    /// Stops and joins the collector thread without consuming the `Gc`,
+    /// leaving the heap at a *true* quiescent point: any in-flight cycle
+    /// runs to completion, no further cycle can start, and pending
+    /// requests are dropped.  This is the precondition
+    /// [`verify_heap`](Gc::verify_heap) needs —
+    /// [`collect_full_blocking`](Gc::collect_full_blocking) alone is not
+    /// enough, because the collector's end-of-cycle trigger re-evaluation
+    /// may immediately launch another cycle whose sweep would race the
+    /// verifier (and if a full collection was already mid-flight when it
+    /// was requested, the wait can return while the requested one still
+    /// runs).  Idempotent; [`shutdown`](Gc::shutdown) after this is a
+    /// no-op join.
+    pub fn stop_collector(&mut self) {
+        self.shutdown_inner();
     }
 
     /// Stops the collector thread and returns the final statistics.  The

@@ -22,6 +22,16 @@ pub enum AllocError {
         /// The request size in bytes.
         requested: usize,
     },
+    /// The collector thread has panicked (poisoned shutdown): no
+    /// collection will ever free space again, and growing the heap did
+    /// not satisfy this request.  Unlike [`OutOfMemory`], this says the
+    /// *collector* is gone, not that the live set filled the heap.
+    ///
+    /// [`OutOfMemory`]: AllocError::OutOfMemory
+    CollectorUnavailable {
+        /// The request size in bytes.
+        requested: usize,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -30,6 +40,11 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfMemory { requested } => {
                 write!(f, "out of memory allocating {requested} bytes")
             }
+            AllocError::CollectorUnavailable { requested } => write!(
+                f,
+                "collector thread dead (poisoned shutdown); \
+                 could not allocate {requested} bytes without collection"
+            ),
         }
     }
 }
@@ -140,14 +155,47 @@ impl Mutator {
         if n >= lab_granules / 2 {
             // Large object: allocate its chunk directly.
             let c = self.alloc_chunk_blocking(n, n)?;
-            debug_assert_eq!(c.len, n);
+            if c.len < n {
+                // A chunk shorter than `min` is a substrate bug, but a
+                // short carve must degrade to AllocError, not abort the
+                // process: return the chunk and report the failure.
+                debug_assert!(false, "alloc_chunk returned {} < min {}", c.len, n);
+                self.shared.heap.free_chunk(c);
+                return Err(self.alloc_failure(n));
+            }
             return Ok(c.start as usize);
         }
+        otf_support::fault::point("mutator.lab.refill");
         let chunk = self.alloc_chunk_blocking(n, lab_granules)?;
         if let Some(rest) = self.lab.refill(chunk) {
             self.shared.heap.free_chunk(rest);
         }
-        Ok(self.lab.try_carve(n).expect("fresh LAB fits request") as usize)
+        match self.lab.try_carve(n) {
+            Some(s) => Ok(s as usize),
+            None => {
+                // The fresh LAB was too short for the request.  Hand the
+                // remainder back so the granules are not leaked and fail
+                // the allocation instead of aborting the process.
+                debug_assert!(false, "fresh LAB cannot satisfy {n} granules");
+                if let Some(rest) = self.lab.take_remainder() {
+                    self.shared.heap.free_chunk(rest);
+                }
+                Err(self.alloc_failure(n))
+            }
+        }
+    }
+
+    /// The terminal allocation error for a request of `n` granules:
+    /// `CollectorUnavailable` when the collector thread has panicked
+    /// (space could exist, but nothing will ever reclaim it), otherwise
+    /// plain `OutOfMemory`.
+    fn alloc_failure(&self, n: u32) -> AllocError {
+        let requested = n as usize * otf_heap::GRANULE;
+        if self.shared.control.is_poisoned() {
+            AllocError::CollectorUnavailable { requested }
+        } else {
+            AllocError::OutOfMemory { requested }
+        }
     }
 
     /// Gets a chunk, blocking on a full collection (and growing the heap)
@@ -161,8 +209,9 @@ impl Mutator {
             if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
                 return Ok(c);
             }
-            if self.shared.control.is_shutdown() {
-                // No collector to help us; just try to grow.
+            if self.shared.control.is_shutdown() || self.shared.control.is_poisoned() {
+                // No collector to help us (clean shutdown or poisoned by
+                // a collector panic); just try to grow.
                 if self.shared.heap.grow().is_none() {
                     break;
                 }
@@ -187,9 +236,7 @@ impl Mutator {
                 break;
             }
         }
-        Err(AllocError::OutOfMemory {
-            requested: min as usize * otf_heap::GRANULE,
-        })
+        Err(self.alloc_failure(min))
     }
 
     fn after_alloc(&mut self, bytes: usize) {
@@ -222,6 +269,12 @@ impl Mutator {
         let shared = &self.shared;
         self.me.epoch_enter();
         let status = self.me.status.load(Ordering::Acquire);
+        // Chaos hook inside the barrier's race window: between reading
+        // this mutator's period perception and acting on it (graying /
+        // card marking / the store), a delay here stretches the window in
+        // which the collector can advance the cycle underneath us — the
+        // interleavings the §7 barrier must tolerate.
+        otf_support::fault::point("mutator.barrier.window");
         let is_async = status == Status::Async as u8;
         match self.barrier {
             BarrierKind::NonGenerational => {
@@ -320,6 +373,10 @@ impl Mutator {
     /// Responding to the third handshake (transition to `async`) marks
     /// this mutator's shadow-stack roots gray (Figure 1's `Cooperate`).
     pub fn cooperate(&mut self) {
+        // Chaos hook: delaying here models a mutator that is slow to
+        // reach its safe point, stretching the handshake window (and, at
+        // the extreme, exercising the collector's stall watchdog).
+        otf_support::fault::point("mutator.cooperate");
         let sc = self.shared.status_c.load(Ordering::Acquire);
         if self.me.status.load(Ordering::Relaxed) == sc {
             return;
@@ -690,6 +747,7 @@ mod tests {
             Some(AllocError::OutOfMemory { requested }) => {
                 assert!(requested >= shape.size_bytes());
             }
+            Some(other) => panic!("expected OutOfMemory, got {other}"),
             None => panic!("1 MB heap never overflowed"),
         }
     }

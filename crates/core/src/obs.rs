@@ -237,6 +237,14 @@ impl EventRing {
         }
     }
 
+    /// Events pushed out of the ring by newer ones: everything recorded
+    /// beyond the ring's capacity has overwritten an older event.
+    fn dropped(&self) -> u64 {
+        self.head
+            .load(Ordering::Acquire)
+            .saturating_sub(RING_CAP as u64)
+    }
+
     /// Wait-free multi-producer record.
     fn record(&self, t_ns: u64, kind: EventKind, a: u64, b: u64) {
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
@@ -284,6 +292,10 @@ pub(crate) struct Obs {
     pub alloc_stall: Histogram,
     /// Write-barrier slow-path hits (graying branches taken).
     pub barrier_slow: AtomicU64,
+    /// Handshake-watchdog trips: times a handshake stalled past the
+    /// configured threshold and the collector reported instead of hanging
+    /// silently.
+    pub watchdog_trips: AtomicU64,
     /// Whether event tracing is enabled.  Plain bool fixed at
     /// construction: the disabled cost of [`Obs::event`] is one
     /// predictable load + branch.
@@ -302,6 +314,7 @@ impl Obs {
             handshake: Histogram::new(),
             alloc_stall: Histogram::new(),
             barrier_slow: AtomicU64::new(0),
+            watchdog_trips: AtomicU64::new(0),
             enabled,
             start: Instant::now(),
             hs_posted_ns: AtomicU64::new(0),
@@ -372,6 +385,13 @@ impl Obs {
         self.ring.drain()
     }
 
+    /// Events that were overwritten before they could be drained (the
+    /// ring keeps only the most recent 2¹⁴): nonzero means a drained
+    /// trace is truncated at its old end.
+    pub(crate) fn events_dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
     /// Writes the retained events as JSON lines.
     pub(crate) fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
         for e in self.events() {
@@ -432,6 +452,17 @@ mod tests {
         assert_eq!(evs.len(), RING_CAP);
         assert_eq!(evs.first().unwrap().a, 100);
         assert_eq!(evs.last().unwrap().a, total - 1);
+        // The 100 overwritten events are accounted, not silently lost.
+        assert_eq!(obs.events_dropped(), 100);
+    }
+
+    #[test]
+    fn no_drops_below_capacity() {
+        let obs = Obs::new(true);
+        for i in 0..100 {
+            obs.event(EventKind::SweepProgress, i, 100);
+        }
+        assert_eq!(obs.events_dropped(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `GcShared`: the state shared by every mutator and the collector thread,
 //! plus the graying primitives and the soft-handshake protocol.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +39,8 @@ pub(crate) struct GcShared {
     pub gray: SegQueue<ObjectRef>,
     /// Registered mutators.
     pub mutators: Mutex<Vec<Arc<MutatorShared>>>,
+    /// Registration-id counter for mutators (watchdog diagnostics).
+    next_mutator_id: AtomicU64,
     /// Global (static) roots, marked by the collector at the third
     /// handshake.
     pub globals: Mutex<Vec<ObjectRef>>,
@@ -79,6 +81,7 @@ impl GcShared {
             collecting: AtomicBool::new(false),
             gray: SegQueue::new(),
             mutators: Mutex::new(Vec::new()),
+            next_mutator_id: AtomicU64::new(1),
             globals: Mutex::new(Vec::new()),
             control: Control::new(),
             stats: Mutex::new(StatsInner::default()),
@@ -234,7 +237,19 @@ impl GcShared {
     pub(crate) fn wait_handshake(&self) {
         let target = self.status_c.load(Ordering::Acquire);
         let snapshot: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
+        // Watchdog state: after `stall` without full adoption, name the
+        // non-cooperating mutators instead of hanging silently, then keep
+        // waiting (re-reporting each further `stall` interval) — the
+        // protocol cannot proceed without the ack, but the hang is now
+        // attributed.
+        let started = Instant::now();
+        let stall = match self.config.handshake_stall_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        };
+        let mut next_report = stall;
         loop {
+            otf_support::fault::point("collector.handshake.wait");
             let mut all_responded = true;
             for m in &snapshot {
                 if m.status.load(Ordering::Acquire) == target {
@@ -256,6 +271,13 @@ impl GcShared {
             if all_responded {
                 return;
             }
+            if let Some(at) = next_report {
+                let waited = started.elapsed();
+                if waited >= at {
+                    self.report_handshake_stall(&snapshot, target, waited);
+                    next_report = stall.map(|s| at + s);
+                }
+            }
             // Sleep until a mutator responds.  The status re-check under
             // the handshake lock pairs with the mutators' notify-under-
             // lock, so a response cannot be missed; the timeout only
@@ -270,6 +292,54 @@ impl GcShared {
         }
     }
 
+    /// Watchdog report: which mutators have not acked the posted status
+    /// after `waited`, on stderr, plus the event-trace ring (when tracing
+    /// is on) for a timeline of how the cycle got here.
+    fn report_handshake_stall(
+        &self,
+        snapshot: &[Arc<MutatorShared>],
+        target: u8,
+        waited: Duration,
+    ) {
+        self.obs.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+        let stalled: Vec<u64> = snapshot
+            .iter()
+            .filter(|m| m.status.load(Ordering::Acquire) != target && !m.park.lock().parked)
+            .map(|m| m.id)
+            .collect();
+        eprintln!(
+            "otf-gc watchdog: handshake to status {:?} stalled for {:?}; \
+             unresponsive mutator ids: {:?} (of {} registered)",
+            Status::from_byte(target),
+            waited,
+            stalled,
+            snapshot.len(),
+        );
+        if self.obs.tracing_enabled() {
+            eprintln!("otf-gc watchdog: event-trace ring follows");
+            let _ = self.obs.write_jsonl(&mut std::io::stderr().lock());
+        }
+    }
+
+    /// Collector panic containment: called (from the spawn wrapper in
+    /// `Gc::new`) after the collector thread's body panicked.  Restores
+    /// protocol state no mutator should be left observing — tracing off,
+    /// no cycle in progress, status back to `Async` so `cooperate` fast-
+    /// paths — and poisons the control so every parked allocator wakes
+    /// and surfaces `AllocError::CollectorUnavailable` instead of
+    /// deadlocking.
+    pub(crate) fn poison_after_panic(&self) {
+        self.tracing.store(false, Ordering::Release);
+        self.collecting.store(false, Ordering::Release);
+        self.status_c.store(Status::Async as u8, Ordering::Release);
+        self.control.poison();
+        self.notify_handshake();
+        eprintln!(
+            "otf-gc: collector thread panicked; collection disabled, \
+             allocation continues in grow-only mode"
+        );
+    }
+
     /// Convenience: `Handshake(s)` = post + wait (Figure 3).
     pub(crate) fn handshake(&self, s: Status) {
         self.post_handshake(s);
@@ -282,7 +352,8 @@ impl GcShared {
     pub(crate) fn register_mutator(&self) -> Arc<MutatorShared> {
         let mut list = self.mutators.lock();
         let status = self.status_c();
-        let m = Arc::new(MutatorShared::new(status));
+        let id = self.next_mutator_id.fetch_add(1, Ordering::Relaxed);
+        let m = Arc::new(MutatorShared::new(status, id));
         list.push(Arc::clone(&m));
         m
     }

@@ -100,6 +100,9 @@ pub struct ParkState {
 /// The collector-visible half of a mutator.
 #[derive(Debug)]
 pub struct MutatorShared {
+    /// Registration id, unique per collector instance — the name the
+    /// handshake watchdog uses to identify a non-cooperating mutator.
+    pub id: u64,
     /// The mutator's handshake status (its "perception of the period").
     pub status: AtomicU8,
     /// Write-barrier epoch: odd while the mutator is inside a gray-producing
@@ -112,9 +115,10 @@ pub struct MutatorShared {
 }
 
 impl MutatorShared {
-    /// Creates the shared record with the given initial status.
-    pub fn new(status: Status) -> MutatorShared {
+    /// Creates the shared record with the given initial status and id.
+    pub fn new(status: Status, id: u64) -> MutatorShared {
         MutatorShared {
+            id,
             status: AtomicU8::new(status as u8),
             epoch: AtomicUsize::new(0),
             park: Mutex::new(ParkState::default()),
@@ -181,7 +185,7 @@ mod tests {
 
     #[test]
     fn epoch_parity() {
-        let m = MutatorShared::new(Status::Async);
+        let m = MutatorShared::new(Status::Async, 0);
         assert!(m.epoch_is_even());
         m.epoch_enter();
         assert!(!m.epoch_is_even());
@@ -191,7 +195,7 @@ mod tests {
 
     #[test]
     fn park_state_default_unparked() {
-        let m = MutatorShared::new(Status::Async);
+        let m = MutatorShared::new(Status::Async, 0);
         assert!(!m.park.lock().parked);
         assert_eq!(m.status(), Status::Async);
     }

@@ -160,6 +160,19 @@ pub struct GcStats {
     /// Write-barrier slow-path hits: barriers that took a graying branch
     /// rather than a plain store (+ card mark).
     pub barrier_slow_hits: u64,
+    /// Trace-ring events overwritten before they could be drained.
+    /// Nonzero means any drained event trace is truncated at its old end
+    /// (the ring keeps only the most recent 2¹⁴ events).
+    pub dropped_events: u64,
+    /// Handshake-watchdog trips: times a handshake stalled past
+    /// [`GcConfig::handshake_stall_ms`](crate::GcConfig) and the
+    /// collector reported the unresponsive mutators instead of hanging
+    /// silently.
+    pub watchdog_trips: u64,
+    /// Whether the collector thread has panicked (poisoned shutdown):
+    /// no further collection will run; allocation continues in grow-only
+    /// mode and fails with `AllocError::CollectorUnavailable`.
+    pub collector_poisoned: bool,
 }
 
 impl GcStats {

@@ -102,6 +102,8 @@ impl std::fmt::Display for HeapViolation {
     }
 }
 
+impl std::error::Error for HeapViolation {}
+
 impl GcShared {
     /// Walks the heap and returns every violated invariant (empty = OK).
     ///

@@ -161,6 +161,12 @@ impl HeapSpace {
     /// when the committed region is exhausted — the caller then grows the
     /// heap or triggers a collection.
     pub fn alloc_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
+        // Chaos harness hook: a failing injection simulates heap pressure
+        // (the committed region "is" exhausted), driving the caller into
+        // its collection-or-grow slow path on a deterministic schedule.
+        if otf_support::fault::point("heap.alloc_chunk") {
+            return None;
+        }
         if let Some(c) = self.freelists.alloc(min, preferred) {
             self.used_granules
                 .fetch_add(c.len as usize, Ordering::Relaxed);

@@ -23,6 +23,10 @@
 //! * [`tablescan`] — SWAR word-at-a-time scanning kernels over
 //!   `[AtomicU8]` side tables (skip, run-end, count, bulk fill), the
 //!   substrate under the collector's sweep and card scans.
+//! * [`fault`] — deterministic, seeded fault injection: named injection
+//!   points threaded through the collector's race windows that can
+//!   delay, yield, or fail on a reproducible schedule; one relaxed load
+//!   and a branch when disabled.
 //!
 //! The paper's own system (Domani, Kolodner & Petrank, PLDI 2000) was
 //! self-contained inside the JVM, and the DLG lineage it extends needs
@@ -33,6 +37,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod fault;
 pub mod hist;
 pub mod queue;
 pub mod rand;

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use otf_gc::{Gc, GcConfig, GcStats};
+use otf_gc::{Gc, GcConfig, GcStats, HeapViolation};
 
 use crate::Workload;
 
@@ -65,6 +65,42 @@ pub fn run_workload(workload: &dyn Workload, config: GcConfig, seed: u64) -> Run
     // exactly the last collection a run triggered that went missing).
     let stats = gc.shutdown();
     RunResult { elapsed, stats }
+}
+
+/// Like [`run_workload`], but verifies the heap's structural invariants
+/// before shutting the collector down: after the mutator threads join, a
+/// blocking full collection settles the heap, [`Gc::stop_collector`]
+/// joins the collector thread (true quiescence — a follow-on cycle the
+/// trigger re-evaluation launched must not race the walk), and
+/// [`Gc::verify_heap`] walks the heap.  Returns the violations alongside
+/// the result — an empty vector means the workload left a consistent
+/// heap.
+///
+/// When the collector is poisoned (a chaos plan panicked it) the settling
+/// collection is skipped — no cycle can run — but the heap walk still
+/// happens: a dead collector must not leave a *structurally* broken heap.
+pub fn run_workload_verified(
+    workload: &dyn Workload,
+    config: GcConfig,
+    seed: u64,
+) -> (RunResult, Vec<HeapViolation>) {
+    let mut gc = Gc::new(config);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..workload.threads() {
+            let mut m = gc.mutator();
+            let w = &workload;
+            s.spawn(move || w.run(t, seed, &mut m));
+        }
+    });
+    let elapsed = start.elapsed();
+    if !gc.is_poisoned() {
+        gc.collect_full_blocking();
+    }
+    gc.stop_collector();
+    let violations = gc.verify_heap();
+    let stats = gc.shutdown();
+    (RunResult { elapsed, stats }, violations)
 }
 
 /// Runs `copies` independent copies of `workload` concurrently (each with

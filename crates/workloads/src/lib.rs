@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod anagram;
+mod chaos;
 mod compress;
 mod db;
 pub mod driver;
@@ -48,6 +49,7 @@ mod raytracer;
 pub mod toolkit;
 
 pub use anagram::Anagram;
+pub use chaos::Chaos;
 pub use compress::Compress;
 pub use db::Db;
 pub use jack::Jack;
@@ -97,9 +99,13 @@ mod tests {
     use otf_gc::GcConfig;
 
     /// Each workload runs correctly (its internal checksum assertions
-    /// pass) under every collector variant at a small scale.
+    /// pass) under every collector variant at a small scale, AND leaves a
+    /// structurally consistent heap: after the run a settling full
+    /// collection quiesces the heap and `Gc::verify_heap` must report
+    /// zero violations — invariant drift is caught here, not only under
+    /// chaos schedules.
     #[test]
-    fn all_workloads_run_under_all_variants() {
+    fn all_workloads_verify_clean_under_all_variants() {
         let scale = 0.02;
         for cfg in [
             GcConfig::generational().with_young_size(256 << 10),
@@ -107,9 +113,34 @@ mod tests {
             GcConfig::aging(3).with_young_size(256 << 10),
         ] {
             for w in suite(scale) {
-                let r = driver::run_workload(w.as_ref(), cfg, 7);
+                let (r, violations) = driver::run_workload_verified(w.as_ref(), cfg, 7);
                 assert!(r.elapsed.as_nanos() > 0, "{} did not run", w.name());
+                assert!(
+                    violations.is_empty(),
+                    "{} under {:?} left heap violations: {:?}",
+                    w.name(),
+                    cfg.mode,
+                    violations
+                );
             }
+        }
+    }
+
+    /// The chaos workload itself is a well-behaved citizen with no fault
+    /// plan installed: it runs to completion and verifies clean.
+    #[test]
+    fn chaos_workload_verifies_clean_without_faults() {
+        let w = Chaos::new().scaled(0.2);
+        for cfg in [
+            GcConfig::generational().with_young_size(256 << 10),
+            GcConfig::non_generational(),
+            GcConfig::aging(3).with_young_size(256 << 10),
+        ] {
+            let (_, violations) = driver::run_workload_verified(&w, cfg, 11);
+            assert!(
+                violations.is_empty(),
+                "chaos left violations: {violations:?}"
+            );
         }
     }
 

@@ -11,7 +11,10 @@
 //!   and the paper's generational extensions (simple promotion, yellow
 //!   color, color toggle, aging);
 //! * [`workloads`] — synthetic re-creations of the paper's benchmarks
-//!   (SPECjvm-like programs, Anagram, the multithreaded Ray Tracer).
+//!   (SPECjvm-like programs, Anagram, the multithreaded Ray Tracer);
+//! * [`support`] — dependency-free utilities, including the
+//!   [`support::fault`] deterministic fault-injection registry the chaos
+//!   harness drives.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -36,4 +39,5 @@
 
 pub use otf_gc as gc;
 pub use otf_heap as heap;
+pub use otf_support as support;
 pub use otf_workloads as workloads;

@@ -1,0 +1,199 @@
+//! Chaos harness: seeded fault-injection schedules against the live
+//! collector.
+//!
+//! Each test installs a [`FaultPlan`] in the process-global registry
+//! (serialized via [`fault::exclusive`] — the registry is shared), drives
+//! real mutator threads against the collector, and then asserts the
+//! hardened failure paths held: the heap verifies clean, a panicked
+//! collector surfaces as [`AllocError::CollectorUnavailable`] instead of
+//! a hang, the handshake watchdog trips on a non-cooperating mutator, and
+//! the same seed reproduces the same injection sequence byte-for-byte.
+
+use std::time::{Duration, Instant};
+
+use otf_gengc::gc::{AllocError, Gc, GcConfig};
+use otf_gengc::heap::ObjShape;
+use otf_gengc::support::fault::{self, FaultPlan, FaultRule};
+use otf_gengc::workloads::{driver, Chaos};
+
+/// The three collector variants every schedule runs under.
+fn variants() -> [GcConfig; 3] {
+    [
+        GcConfig::generational().with_young_size(256 << 10),
+        GcConfig::non_generational(),
+        GcConfig::aging(3).with_young_size(256 << 10),
+    ]
+}
+
+/// Determinism: a single mutator thread under a mutator-side delay/yield
+/// plan must produce the *identical* injection log on every run — the
+/// per-hit decision is a pure function of `(seed, point, hit)`, and with
+/// one thread the hit order is the program order.
+#[test]
+fn same_seed_reproduces_identical_injection_sequence() {
+    let _serial = fault::exclusive();
+    let plan = || {
+        FaultPlan::new(0xC0FFEE)
+            .rule(
+                FaultRule::at("mutator.cooperate")
+                    .delaying(0.3, 50)
+                    .yielding(0.3),
+            )
+            .rule(FaultRule::at("mutator.barrier.window").yielding(0.2))
+            .rule(FaultRule::at("mutator.lab.refill").delaying(0.5, 30))
+    };
+    let w = Chaos::new().with_threads(1).scaled(0.1);
+    let mut logs = Vec::new();
+    for _ in 0..2 {
+        fault::install(plan());
+        let _ = driver::run_workload(&w, GcConfig::generational().with_young_size(256 << 10), 17);
+        logs.push(fault::uninstall());
+    }
+    assert!(!logs[0].is_empty(), "the plan never fired");
+    assert_eq!(
+        logs[0], logs[1],
+        "same seed must reproduce the same injection sequence"
+    );
+}
+
+/// The seeded chaos matrix: every collector variant survives both a
+/// scheduling-storm plan (delays and yields inside the protocol's race
+/// windows) and a failure-storm plan (refused chunk allocations) with a
+/// structurally consistent heap at the end.
+#[test]
+fn chaos_matrix_verifies_clean_under_fault_plans() {
+    let _serial = fault::exclusive();
+    let storm: fn() -> FaultPlan = || {
+        FaultPlan::new(7)
+            .rule(
+                FaultRule::at("mutator.cooperate")
+                    .delaying(0.1, 200)
+                    .yielding(0.2),
+            )
+            .rule(FaultRule::at("mutator.barrier.window").yielding(0.1))
+            .rule(FaultRule::at("mutator.lab.refill").delaying(0.1, 100))
+            .rule(FaultRule::at("collector.phase").delaying(0.5, 500))
+            .rule(FaultRule::at("collector.handshake.wait").yielding(0.3))
+    };
+    let failures: fn() -> FaultPlan = || {
+        FaultPlan::new(11)
+            .rule(
+                FaultRule::at("heap.alloc_chunk")
+                    .failing(0.05)
+                    .max_fires(25),
+            )
+            .rule(FaultRule::at("mutator.lab.refill").yielding(0.2))
+            .rule(FaultRule::at("mutator.cooperate").yielding(0.1))
+    };
+    let w = Chaos::new().with_threads(3).scaled(0.2);
+    for cfg in variants() {
+        for (name, mk) in [("storm", storm), ("failures", failures)] {
+            fault::install(mk());
+            let (_, violations) = driver::run_workload_verified(&w, cfg, 23);
+            let log = fault::uninstall();
+            assert!(
+                violations.is_empty(),
+                "plan {name:?} under {:?} left heap violations after {} injections: {violations:?}",
+                cfg.mode,
+                log.len()
+            );
+        }
+    }
+}
+
+/// Panic containment: when the collector thread dies, allocation-blocked
+/// mutators must *not* hang — heap exhaustion surfaces as
+/// [`AllocError::CollectorUnavailable`] within a bounded time, and the
+/// poisoned state is visible in the stats.
+#[test]
+fn panicked_collector_unblocks_allocators_with_collector_unavailable() {
+    let _serial = fault::exclusive();
+    // The injected panic is expected; silence the default hook's
+    // backtrace spam for the duration (restored before any assertion).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    fault::install(
+        FaultPlan::new(1).rule(FaultRule::at("collector.panic").failing(1.0).max_fires(1)),
+    );
+    let gc = Gc::new(
+        GcConfig::generational()
+            .with_initial_heap(1 << 20)
+            .with_max_heap(1 << 20)
+            .with_young_size(256 << 10),
+    );
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(0, 6);
+    let bound = Duration::from_secs(30);
+    let start = Instant::now();
+    let mut outcome = None;
+    // Retain everything: the first collection request panics the
+    // collector, so growing pressure must end in CollectorUnavailable.
+    for _ in 0..1_000_000 {
+        match m.alloc(&shape) {
+            Ok(r) => {
+                m.root_push(r);
+            }
+            Err(e) => {
+                outcome = Some(e);
+                break;
+            }
+        }
+        if start.elapsed() > bound {
+            break;
+        }
+    }
+    let hung = start.elapsed() > bound;
+    drop(m);
+    let log = fault::uninstall();
+    std::panic::set_hook(prev_hook);
+
+    assert!(
+        !hung,
+        "allocator still blocked {bound:?} after the collector died"
+    );
+    assert_eq!(log.len(), 1, "exactly one injected panic expected: {log:?}");
+    assert!(
+        matches!(outcome, Some(AllocError::CollectorUnavailable { .. })),
+        "expected CollectorUnavailable, got {outcome:?}"
+    );
+    assert!(gc.is_poisoned());
+    let stats = gc.shutdown();
+    assert!(stats.collector_poisoned);
+}
+
+/// The handshake watchdog: a mutator that never cooperates stalls the
+/// cycle; instead of hanging silently the collector must report the
+/// stall (counted in [`watchdog_trips`]) and then complete the cycle
+/// once the mutator is gone.
+///
+/// [`watchdog_trips`]: otf_gengc::gc::GcStats::watchdog_trips
+#[test]
+fn watchdog_reports_stalled_handshake() {
+    let _serial = fault::exclusive();
+    let gc = Gc::new(GcConfig::generational().with_handshake_stall_ms(50));
+    let mut m = gc.mutator();
+    let r = m.alloc(&ObjShape::new(1, 1)).unwrap();
+    m.root_push(r);
+    gc.request_full();
+    // Never cooperate: the first handshake cannot complete.  Give the
+    // watchdog a few reporting intervals to trip.
+    let start = Instant::now();
+    while gc.stats().watchdog_trips == 0 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(gc.stats().watchdog_trips > 0, "watchdog never tripped");
+    // Dropping the mutator unregisters it; the stalled cycle must now
+    // run to completion (the watchdog reports, it does not kill).
+    let before = gc.cycles_completed();
+    drop(m);
+    let start = Instant::now();
+    while gc.cycles_completed() == before && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        gc.cycles_completed() > before,
+        "stalled cycle never completed"
+    );
+    gc.shutdown();
+}
