@@ -9,7 +9,7 @@ set -eux
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
 cargo build --release --offline --workspace --all-targets
-cargo test -q --offline
+cargo test -q --offline --workspace
 cargo fmt --check
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
@@ -26,6 +26,22 @@ OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_pauses_ci.json \
     ./target/release/bench_pauses --quick
 grep -q '"bench": "pauses"' target/BENCH_pauses_ci.json
 grep -q '"workload": "db"' target/BENCH_pauses_ci.json
+
+# Smoke-run the parallel back-end benchmark (work-stealing mark +
+# page-partitioned sweep).  The binary exits non-zero on any heap
+# violation across the workload × config × gc_threads matrix or if a
+# scaling gate fails; the greps additionally pin the gate verdicts in
+# the emitted JSON.
+OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_parallel_ci.json \
+    ./target/release/bench_parallel --quick
+grep -q '"bench": "parallel"' target/BENCH_parallel_ci.json
+grep -q '"n1_parity": true' target/BENCH_parallel_ci.json
+grep -q '"p999_ok": true' target/BENCH_parallel_ci.json
+
+# The full integration suites again with four GC workers: every
+# collector-driven test (correctness, chaos, observability) must hold
+# under the parallel back-end, not just the serial default.
+OTF_GC_THREADS=4 cargo test -q --offline --test chaos --test gc_correctness
 
 # Chaos smoke: the fixed-seed fault-injection matrix (debug build — the
 # debug_asserts on the hardened failure paths must hold too).  The binary

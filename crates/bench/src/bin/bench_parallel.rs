@@ -1,0 +1,319 @@
+//! Parallel collector back-end benchmark: cycle time and mutator pauses
+//! as the GC worker count scales.
+//!
+//! Runs db and mtrt under the generational and non-generational
+//! collectors at `gc_threads` ∈ {1, 2, 4} (work-stealing mark +
+//! page-partitioned sweep, DESIGN.md §4.4), verifying the heap after
+//! every run.  Reported per row: median wall time, mean full-cycle time,
+//! pause p99 / p99.9 / max, total steals, and heap violations.
+//!
+//! Two gates, both with deliberately generous slack because this harness
+//! must pass on a single-core container (where extra workers cannot
+//! speed anything up and only add scheduling noise):
+//!
+//! * **N=1 parity** — with one worker the collector takes the exact
+//!   serial code path (the verified-default DLG configuration), so its
+//!   mean cycle time must track the default-config baseline.
+//! * **p99.9 non-worsening** — parallel workers must not wreck mutator
+//!   latency: p99.9 pause at N>1 stays within a generous envelope of the
+//!   N=1 value.
+//!
+//! The N=4 cycle-time speedup is *recorded* (with the machine's
+//! available parallelism) but never gated: on one core the honest
+//! expectation is ~1.0x or below.
+//!
+//! Emits `BENCH_parallel.json` (override with `OTF_BENCH_OUT`); exits
+//! non-zero on heap violations or a gate failure.  Accepts the standard
+//! figure-harness flags (`--scale`, `--reps`, `--seed`, `--quick`).
+
+use std::time::Duration;
+
+use otf_bench::measure::Options;
+use otf_bench::table::Table;
+use otf_gc::GcConfig;
+use otf_support::hist::Snapshot;
+use otf_workloads::driver;
+use otf_workloads::{Db, RayTracer, Workload};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Merged measurement of one workload × config × worker-count cell.
+struct ParallelResult {
+    workload: &'static str,
+    config: &'static str,
+    n: usize,
+    /// Median elapsed wall time across reps.
+    elapsed: Duration,
+    /// Total cycles across reps.
+    cycles: usize,
+    /// Mean cycle duration across every cycle of every rep, in ms.
+    cycle_avg_ms: f64,
+    pause: Snapshot,
+    steals: u64,
+    violations: usize,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn run_case(
+    workload: &'static str,
+    w: &dyn Workload,
+    cfg: GcConfig,
+    config: &'static str,
+    n: usize,
+    o: &Options,
+) -> ParallelResult {
+    let mut pause = Snapshot::default();
+    let mut cycles = 0usize;
+    let mut cycle_ns = 0u128;
+    let mut steals = 0u64;
+    let mut violations = 0usize;
+    let mut elapses = Vec::new();
+    for rep in 0..o.reps.max(1) {
+        let (r, v) = driver::run_workload_verified(w, cfg.with_gc_threads(n), o.seed + rep as u64);
+        pause.merge(&r.stats.pause);
+        cycles += r.stats.cycles.len();
+        cycle_ns += r
+            .stats
+            .cycles
+            .iter()
+            .map(|c| c.duration.as_nanos())
+            .sum::<u128>();
+        steals += r.stats.workers.iter().map(|w| w.steals).sum::<u64>();
+        violations += v.len();
+        elapses.push(r.elapsed);
+    }
+    elapses.sort_unstable();
+    ParallelResult {
+        workload,
+        config,
+        n,
+        elapsed: elapses[elapses.len() / 2],
+        cycles,
+        cycle_avg_ms: if cycles == 0 {
+            0.0
+        } else {
+            cycle_ns as f64 / cycles as f64 / 1e6
+        },
+        pause,
+        steals,
+        violations,
+    }
+}
+
+/// N=1 must track the default-config serial baseline: same code path, so
+/// only scheduling noise separates them.  Slack: 2x + 1 ms.
+fn n1_parity(rows: &[ParallelResult], baselines: &[(&'static str, &'static str, f64)]) -> bool {
+    rows.iter().filter(|r| r.n == 1).all(|r| {
+        let base = baselines
+            .iter()
+            .find(|(w, c, _)| *w == r.workload && *c == r.config)
+            .map(|&(_, _, ms)| ms)
+            .unwrap_or(0.0);
+        let ok = r.cycle_avg_ms <= base * 2.0 + 1.0;
+        if !ok {
+            eprintln!(
+                "error: {}/{} N=1 cycle avg {:.2} ms vs baseline {:.2} ms — parity broken",
+                r.workload, r.config, r.cycle_avg_ms, base
+            );
+        }
+        ok
+    })
+}
+
+/// Extra workers must not wreck mutator latency: p99.9 pause at N>1
+/// stays within 10x + 20 ms of the N=1 value for the same cell.  The
+/// slack is wide on purpose: in quick mode p99.9 is a single worst
+/// handshake, and on an oversubscribed single core that is pure
+/// scheduler noise — the gate exists to catch order-of-magnitude
+/// regressions (a worker blocking a handshake), not jitter.
+fn p999_ok(rows: &[ParallelResult]) -> bool {
+    rows.iter().filter(|r| r.n > 1).all(|r| {
+        let base = rows
+            .iter()
+            .find(|b| b.n == 1 && b.workload == r.workload && b.config == r.config)
+            .map(|b| b.pause.quantile(0.999))
+            .unwrap_or(0);
+        let bound = base.saturating_mul(10) + 20_000_000;
+        let ok = r.pause.quantile(0.999) <= bound;
+        if !ok {
+            eprintln!(
+                "error: {}/{} N={} pause p99.9 {:.1} us vs N=1 {:.1} us — latency envelope broken",
+                r.workload,
+                r.config,
+                r.n,
+                us(r.pause.quantile(0.999)),
+                us(base)
+            );
+        }
+        ok
+    })
+}
+
+/// Mean N=4 / N=1 cycle-time ratio across cells (informational only).
+fn speedup_n4(rows: &[ParallelResult]) -> f64 {
+    let mut ratios = Vec::new();
+    for r in rows.iter().filter(|r| r.n == 4) {
+        if let Some(b) = rows
+            .iter()
+            .find(|b| b.n == 1 && b.workload == r.workload && b.config == r.config)
+        {
+            if r.cycle_avg_ms > 0.0 {
+                ratios.push(b.cycle_avg_ms / r.cycle_avg_ms);
+            }
+        }
+    }
+    if ratios.is_empty() {
+        0.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    rows: &[ParallelResult],
+    cores: usize,
+    parity: bool,
+    p999: bool,
+    speedup: f64,
+    o: &Options,
+    path: &str,
+) {
+    let mut j = String::from("{\n  \"bench\": \"parallel\",\n");
+    j.push_str(&format!(
+        "  \"cores\": {cores}, \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
+        o.scale, o.reps, o.seed
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"gc_threads\": {}, \
+             \"elapsed_ms\": {:.2}, \"cycles\": {}, \"cycle_avg_ms\": {:.3}, \
+             \"pause_p99_us\": {:.1}, \"pause_p999_us\": {:.1}, \"pause_max_us\": {:.1}, \
+             \"steals\": {}, \"violations\": {}}}{}\n",
+            json_escape_free(r.workload),
+            json_escape_free(r.config),
+            r.n,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.cycles,
+            r.cycle_avg_ms,
+            us(r.pause.quantile(0.99)),
+            us(r.pause.quantile(0.999)),
+            us(r.pause.max()),
+            r.steals,
+            r.violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"n1_parity\": {parity}, \"p999_ok\": {p999}, \"speedup_n4\": {speedup:.3}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let o = Options::from_args();
+    let quick = std::env::var_os("OTF_BENCH_QUICK").is_some() || o.scale < 0.2;
+    let wl_scale = if quick { o.scale.min(0.1) } else { o.scale };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let workloads: [(&'static str, Box<dyn Workload>); 2] = [
+        ("db", Box::new(Db::new().scaled(wl_scale))),
+        ("mtrt", Box::new(RayTracer::mtrt().scaled(wl_scale))),
+    ];
+    let configs: [(&'static str, GcConfig); 2] = [
+        ("gen", GcConfig::generational()),
+        ("nogen", GcConfig::non_generational()),
+    ];
+
+    println!("== parallel collector back-end ({cores} core(s) available) ==\n");
+    // Default-config baselines for the N=1 parity gate.
+    let mut baselines: Vec<(&'static str, &'static str, f64)> = Vec::new();
+    for (name, w) in &workloads {
+        for &(cfg_name, cfg) in &configs {
+            let b = run_case(name, w.as_ref(), cfg, cfg_name, 1, &o);
+            baselines.push((name, cfg_name, b.cycle_avg_ms));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (name, w) in &workloads {
+        for &(cfg_name, cfg) in &configs {
+            for n in THREAD_COUNTS {
+                let r = run_case(name, w.as_ref(), cfg, cfg_name, n, &o);
+                println!(
+                    "{name}/{cfg_name:<6} N={n}  cycle avg {:>7.2} ms  p99.9 {:>9.1} us  \
+                     steals {:>6}  violations {}",
+                    r.cycle_avg_ms,
+                    us(r.pause.quantile(0.999)),
+                    r.steals,
+                    r.violations,
+                );
+                rows.push(r);
+            }
+        }
+    }
+
+    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+    let parity = n1_parity(&rows, &baselines);
+    let p999 = p999_ok(&rows);
+    let speedup = speedup_n4(&rows);
+
+    let mut t = Table::new("parallel back-end: cycle time and pauses by worker count");
+    t.header([
+        "workload",
+        "config",
+        "N",
+        "cycle avg",
+        "p99",
+        "p99.9",
+        "max",
+        "steals",
+        "cycles",
+    ]);
+    for r in &rows {
+        t.row([
+            r.workload.to_string(),
+            r.config.to_string(),
+            r.n.to_string(),
+            format!("{:.2} ms", r.cycle_avg_ms),
+            format!("{:.1}", us(r.pause.quantile(0.99))),
+            format!("{:.1}", us(r.pause.quantile(0.999))),
+            format!("{:.1}", us(r.pause.max())),
+            r.steals.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!(
+        "\nN=4 cycle-time speedup {speedup:.2}x on {cores} core(s) — informational, not gated"
+    );
+
+    let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+    write_json(&rows, cores, parity, p999, speedup, &o, &path);
+
+    if total_violations > 0 {
+        eprintln!("{total_violations} heap violation(s) across the matrix");
+        std::process::exit(1);
+    }
+    if !parity || !p999 {
+        eprintln!("gate failure: n1_parity={parity} p999_ok={p999}");
+        std::process::exit(1);
+    }
+}

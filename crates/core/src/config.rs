@@ -80,7 +80,31 @@ pub struct GcConfig {
     /// waiting — the protocol cannot proceed without the ack, but the
     /// hang is now diagnosable.  `0` disables the watchdog.
     pub handshake_stall_ms: u64,
+    /// Number of collector worker threads for the trace and sweep phases
+    /// (§4.4).  `1` (the default) is the paper's single-collector
+    /// configuration — the verified DLG protocol with no parallel-
+    /// termination machinery on the hot path.  `N > 1` runs mark with
+    /// per-worker work-stealing deques and sweep over page-partitioned
+    /// segments.  The constructors read the `OTF_GC_THREADS` environment
+    /// variable as the default, so test matrices can parallelize every
+    /// collector without code changes.
+    pub gc_threads: usize,
 }
+
+/// Reads the `OTF_GC_THREADS` default for the constructors (falls back
+/// to 1 — the single-collector configuration — when unset or invalid).
+fn gc_threads_from_env() -> usize {
+    std::env::var("OTF_GC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| (1..=MAX_GC_THREADS).contains(&n))
+        .unwrap_or(1)
+}
+
+/// Upper bound on [`GcConfig::gc_threads`] — far above any sensible
+/// worker count, present so a typo'd configuration fails validation
+/// instead of spawning thousands of threads per cycle.
+pub const MAX_GC_THREADS: usize = 64;
 
 impl GcConfig {
     /// The paper's best generational configuration: simple promotion,
@@ -97,6 +121,7 @@ impl GcConfig {
             lab_granules: otf_heap::DEFAULT_LAB_GRANULES,
             trace_events: false,
             handshake_stall_ms: 1000,
+            gc_threads: gc_threads_from_env(),
         }
     }
 
@@ -171,6 +196,13 @@ impl GcConfig {
         self
     }
 
+    /// Sets the number of collector worker threads (clamped to at least
+    /// 1; see [`GcConfig::gc_threads`]).
+    pub fn with_gc_threads(mut self, n: usize) -> GcConfig {
+        self.gc_threads = n.max(1);
+        self
+    }
+
     /// Whether this configuration is generational.
     pub fn is_generational(&self) -> bool {
         matches!(self.mode, Mode::Generational(_))
@@ -213,6 +245,12 @@ impl GcConfig {
             if t < 2 {
                 return Err("aging threshold must be at least 2".into());
             }
+        }
+        if !(1..=MAX_GC_THREADS).contains(&self.gc_threads) {
+            return Err(format!(
+                "gc_threads {} not in [1, {MAX_GC_THREADS}]",
+                self.gc_threads
+            ));
         }
         Ok(())
     }
@@ -272,5 +310,16 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn aging_threshold_one_panics() {
         let _ = GcConfig::aging(1);
+    }
+
+    #[test]
+    fn gc_threads_clamped_and_validated() {
+        assert_eq!(GcConfig::generational().with_gc_threads(0).gc_threads, 1);
+        let c = GcConfig::generational().with_gc_threads(4);
+        assert_eq!(c.gc_threads, 4);
+        assert!(c.validate().is_ok());
+        let mut c = GcConfig::generational();
+        c.gc_threads = MAX_GC_THREADS + 1;
+        assert!(c.validate().is_err());
     }
 }

@@ -81,7 +81,7 @@ use std::thread::JoinHandle;
 pub use config::{GcConfig, Mode, Promotion};
 pub use mutator::{AllocError, Mutator};
 pub use obs::{phase, EventKind, GcEvent};
-pub use stats::{CycleKind, CycleStats, GcStats, PhaseTimes};
+pub use stats::{CycleKind, CycleStats, GcStats, PhaseTimes, WorkerStats};
 pub use verify::HeapViolation;
 
 // Re-export the heap vocabulary users need at the API boundary, and the
@@ -213,6 +213,17 @@ impl Gc {
             dropped_events: self.shared.obs.events_dropped(),
             watchdog_trips: self.shared.obs.watchdog_trips.load(Ordering::Relaxed),
             collector_poisoned: self.shared.control.is_poisoned(),
+            workers: self
+                .shared
+                .obs
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    mark: w.mark_ns.snapshot(),
+                    sweep: w.sweep_ns.snapshot(),
+                    steals: w.steals.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 

@@ -278,6 +278,31 @@ impl EventRing {
     }
 }
 
+/// Per-collector-worker observability: phase latency histograms plus a
+/// steal counter, one instance per configured GC thread (§4.4).  Worker
+/// 0 is the collector thread itself; at `gc_threads = 1` its histograms
+/// are the whole story and `steals` stays 0.
+#[derive(Debug)]
+pub(crate) struct WorkerObs {
+    /// Time this worker spent in the mark phase per cycle, in ns.
+    pub mark_ns: Histogram,
+    /// Time this worker spent in the sweep phase per cycle, in ns.
+    pub sweep_ns: Histogram,
+    /// Objects this worker obtained by stealing (from a sibling's deque
+    /// or the shared gray queue while idle).
+    pub steals: AtomicU64,
+}
+
+impl WorkerObs {
+    fn new() -> WorkerObs {
+        WorkerObs {
+            mark_ns: Histogram::new(),
+            sweep_ns: Histogram::new(),
+            steals: AtomicU64::new(0),
+        }
+    }
+}
+
 /// The collector's observability state, owned by `GcShared`.
 #[derive(Debug)]
 pub(crate) struct Obs {
@@ -296,6 +321,9 @@ pub(crate) struct Obs {
     /// configured threshold and the collector reported instead of hanging
     /// silently.
     pub watchdog_trips: AtomicU64,
+    /// Per-worker phase histograms and steal counters, one per
+    /// configured GC thread.
+    pub workers: Vec<WorkerObs>,
     /// Whether event tracing is enabled.  Plain bool fixed at
     /// construction: the disabled cost of [`Obs::event`] is one
     /// predictable load + branch.
@@ -308,13 +336,14 @@ pub(crate) struct Obs {
 }
 
 impl Obs {
-    pub(crate) fn new(enabled: bool) -> Obs {
+    pub(crate) fn new(enabled: bool, gc_threads: usize) -> Obs {
         Obs {
             pause: Histogram::new(),
             handshake: Histogram::new(),
             alloc_stall: Histogram::new(),
             barrier_slow: AtomicU64::new(0),
             watchdog_trips: AtomicU64::new(0),
+            workers: (0..gc_threads.max(1)).map(|_| WorkerObs::new()).collect(),
             enabled,
             start: Instant::now(),
             hs_posted_ns: AtomicU64::new(0),
@@ -370,6 +399,20 @@ impl Obs {
         self.pause.record(stall_ns);
     }
 
+    /// Worker side: worker `w` finished its share of a mark phase after
+    /// `ns` nanoseconds, having stolen `steals` objects.
+    pub(crate) fn note_worker_mark(&self, w: usize, ns: u64, steals: u64) {
+        let worker = &self.workers[w];
+        worker.mark_ns.record(ns);
+        worker.steals.fetch_add(steals, Ordering::Relaxed);
+    }
+
+    /// Worker side: worker `w` finished its share of a sweep phase after
+    /// `ns` nanoseconds.
+    pub(crate) fn note_worker_sweep(&self, w: usize, ns: u64) {
+        self.workers[w].sweep_ns.record(ns);
+    }
+
     /// Collector side: a cycle began.
     pub(crate) fn note_cycle_begin(&self, kind: CycleKind) {
         self.event(EventKind::CycleBegin, cycle_word(kind), 0);
@@ -414,7 +457,7 @@ mod tests {
 
     #[test]
     fn disabled_ring_records_nothing() {
-        let obs = Obs::new(false);
+        let obs = Obs::new(false, 1);
         obs.event(EventKind::CycleBegin, 1, 0);
         obs.note_cycle_begin(CycleKind::Full);
         assert!(obs.events().is_empty());
@@ -426,7 +469,7 @@ mod tests {
 
     #[test]
     fn enabled_ring_round_trips_events() {
-        let obs = Obs::new(true);
+        let obs = Obs::new(true, 1);
         obs.note_cycle_begin(CycleKind::Full);
         obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
         obs.event(EventKind::PhaseEnd, phase::SWEEP, 1234);
@@ -443,7 +486,7 @@ mod tests {
 
     #[test]
     fn ring_keeps_most_recent_on_overflow() {
-        let obs = Obs::new(true);
+        let obs = Obs::new(true, 1);
         let total = RING_CAP as u64 + 100;
         for i in 0..total {
             obs.event(EventKind::SweepProgress, i, total);
@@ -458,7 +501,7 @@ mod tests {
 
     #[test]
     fn no_drops_below_capacity() {
-        let obs = Obs::new(true);
+        let obs = Obs::new(true, 1);
         for i in 0..100 {
             obs.event(EventKind::SweepProgress, i, 100);
         }
@@ -467,7 +510,7 @@ mod tests {
 
     #[test]
     fn handshake_latency_measured_from_post() {
-        let obs = Obs::new(false);
+        let obs = Obs::new(false, 1);
         obs.note_handshake_post(Status::Sync1);
         std::thread::sleep(std::time::Duration::from_millis(2));
         obs.note_handshake_ack(Status::Sync1, 10);
@@ -482,7 +525,7 @@ mod tests {
 
     #[test]
     fn jsonl_lines_are_well_formed() {
-        let obs = Obs::new(true);
+        let obs = Obs::new(true, 1);
         obs.note_handshake_post(Status::Sync2);
         obs.note_handshake_ack(Status::Sync2, 77);
         obs.event(EventKind::CardClear, 5, 300);
@@ -505,7 +548,7 @@ mod tests {
 
     #[test]
     fn concurrent_recording_yields_whole_events() {
-        let obs = std::sync::Arc::new(Obs::new(true));
+        let obs = std::sync::Arc::new(Obs::new(true, 1));
         std::thread::scope(|s| {
             for t in 0..4u64 {
                 let obs = std::sync::Arc::clone(&obs);

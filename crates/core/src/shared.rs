@@ -85,7 +85,10 @@ impl GcShared {
             globals: Mutex::new(Vec::new()),
             control: Control::new(),
             stats: Mutex::new(StatsInner::default()),
-            obs: Obs::new(config.trace_events || std::env::var_os("OTF_GC_TRACE").is_some()),
+            obs: Obs::new(
+                config.trace_events || std::env::var_os("OTF_GC_TRACE").is_some(),
+                config.gc_threads,
+            ),
             start: Instant::now(),
             hs_lock: Mutex::new(()),
             hs_cond: Condvar::new(),

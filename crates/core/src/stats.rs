@@ -173,6 +173,22 @@ pub struct GcStats {
     /// no further collection will run; allocation continues in grow-only
     /// mode and fails with `AllocError::CollectorUnavailable`.
     pub collector_poisoned: bool,
+    /// Per-collector-worker statistics (one entry per configured GC
+    /// thread, §4.4).  Worker 0 is the collector thread itself; at
+    /// `gc_threads = 1` this is a single entry with zero steals.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// Per-collector-worker phase latency and steal counts (§4.4).
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Histogram of this worker's per-cycle mark-phase time, in ns.
+    pub mark: Snapshot,
+    /// Histogram of this worker's per-cycle sweep-phase time, in ns.
+    pub sweep: Snapshot,
+    /// Objects this worker obtained by stealing (sibling deques or the
+    /// shared gray queue while out of local work).
+    pub steals: u64,
 }
 
 impl GcStats {

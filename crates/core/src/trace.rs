@@ -1,21 +1,74 @@
 //! The transitive mark phase (`trace` in Figure 2) with sound on-the-fly
-//! termination detection.
+//! termination detection, serial (`gc_threads = 1`, the paper's
+//! configuration) or parallel over work-stealing worker deques
+//! (DESIGN.md §4.4).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use otf_heap::{Color, ObjectRef};
+use otf_support::fault;
+use otf_support::steal::WorkerDeque;
+use otf_support::sync::Backoff;
 
 use crate::cycle::CycleCx;
+use crate::obs::dur_ns;
 use crate::shared::GcShared;
+use crate::state::MutatorShared;
+
+/// A worker publishes the older half of its private mark stack to its
+/// deque once the stack grows past this many entries (and its deque is
+/// empty) — the work-packet idea: the hot path stays a plain `Vec`,
+/// thieves only see batched excess.
+const PUBLISH_MIN: usize = 64;
+
+/// Shared state of the §4.4 parallel termination protocol.
+struct TraceTermination {
+    /// Workers not currently parked in the idle loop.  Starts at N;
+    /// a worker decrements it on going idle and increments it *before*
+    /// taking any new work, so `active == 0` proves no worker holds
+    /// unscanned objects in private state.
+    active: AtomicUsize,
+    /// Bumped whenever work becomes reachable to others or a worker
+    /// reactivates (deque publish, successful steal, gray-queue pop,
+    /// idle→active).  A termination candidate reads it before and after
+    /// its emptiness checks: equality proves no worker went from empty
+    /// to non-empty in between.
+    steal_epoch: AtomicU64,
+    /// Set exactly once, by the worker whose candidate check succeeds.
+    done: AtomicBool,
+}
+
+impl TraceTermination {
+    fn new(workers: usize) -> TraceTermination {
+        TraceTermination {
+            active: AtomicUsize::new(workers),
+            steal_epoch: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        }
+    }
+}
 
 impl GcShared {
-    /// `MarkBlack` (Figure 3): shade every son gray, then color the object
-    /// with the trace target color (black in the generational variants;
-    /// the current allocation color in the toggled non-generational
-    /// baseline).
+    /// `MarkBlack` (Figure 3): *claim* the object with a gray→target
+    /// color CAS, then shade every son gray.
+    ///
+    /// Every enqueue site (write barrier, card scan, root marking, the
+    /// collector's own son-shading) CASes the color to gray before
+    /// pushing, so a popped object is gray unless another worker — or a
+    /// duplicate entry from a re-graying — already claimed it.  The
+    /// losing CAS returns without scanning or counting, which is what
+    /// makes parallel marking sound: two workers can never double-trace
+    /// or double-count one object.  Claiming *before* shading the sons
+    /// is safe under the snapshot write barrier: a mutator racing this
+    /// window grays the overwritten value regardless of the parent's
+    /// color (DESIGN.md §4.4).
     pub(crate) fn mark_black(&self, obj: ObjectRef, target: Color, cx: &mut CycleCx) {
         let g = obj.granule();
         let colors = self.heap.colors();
-        if colors.get(g) == target {
-            return; // duplicate queue entry
+        if !colors.cas(g, Color::Gray, target) {
+            return; // another worker claimed it, or a duplicate entry
         }
         let header = self.heap.arena().header(obj);
         let ref_slots = header.ref_slots();
@@ -23,10 +76,16 @@ impl GcShared {
             let son = self.heap.arena().load_ref_slot(obj, i);
             self.mark_gray_clear_local(son, &mut cx.mark_stack);
         }
-        colors.set(g, target);
         cx.counters.objects_traced += 1;
         cx.touch_object(obj, 1 + ref_slots);
         cx.touch_color(g);
+    }
+
+    /// Refreshes `out` with the current mutator registry (one lock
+    /// acquisition), reusing its capacity.
+    fn snapshot_mutators(&self, out: &mut Vec<Arc<MutatorShared>>) {
+        out.clear();
+        out.extend(self.mutators.lock().iter().cloned());
     }
 
     /// The trace loop: pop gray objects and blacken them until no gray
@@ -40,25 +99,166 @@ impl GcShared {
     /// after observing all epochs even *and then* the queue still empty.
     /// Any barrier that starts after that point can only shade objects the
     /// DLG invariants already guarantee are marked (see DESIGN.md §4.3).
+    /// With `gc_threads > 1` the check additionally covers the worker
+    /// deques and in-flight steals (DESIGN.md §4.4).
     pub(crate) fn trace(&self, cx: &mut CycleCx) {
+        let workers = self.config.gc_threads;
+        if workers > 1 {
+            self.trace_parallel(cx, workers);
+        } else {
+            self.trace_serial(cx);
+        }
+    }
+
+    /// Single-collector trace — the paper's configuration, byte-for-byte
+    /// the §4.3 protocol (no deques, no steal epoch on the hot path).
+    fn trace_serial(&self, cx: &mut CycleCx) {
         let target = self.trace_target();
+        let start = Instant::now();
+        let mut backoff = Backoff::new();
+        let mut epochs: Vec<Arc<MutatorShared>> = Vec::new();
         loop {
             while let Some(obj) = cx.mark_stack.pop() {
                 self.mark_black(obj, target, cx);
             }
             if let Some(obj) = self.gray.pop() {
+                backoff.reset();
                 self.mark_black(obj, target, cx);
                 continue;
             }
-            let all_even = {
-                let mutators = self.mutators.lock();
-                mutators.iter().all(|m| m.epoch_is_even())
-            };
+            // Quiescence check, one registry snapshot per attempt (not
+            // one lock per spin): epochs even must be observed *before*
+            // the queue re-check — a barrier either shows an odd epoch
+            // here or has completed its push, which the later emptiness
+            // check then sees.
+            self.snapshot_mutators(&mut epochs);
+            let all_even = epochs.iter().all(|m| m.epoch_is_even());
             if all_even && cx.mark_stack.is_empty() && self.gray.is_empty() {
                 break;
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
+        self.obs.note_worker_mark(0, dur_ns(start.elapsed()), 0);
+    }
+
+    /// Parallel trace: the roots in `cx.mark_stack` are dealt
+    /// round-robin onto per-worker stealing deques, `workers − 1`
+    /// helpers are spawned for the phase (worker 0 is the collector
+    /// thread itself), and per-worker counters/touch-sets merge into
+    /// `cx` at the phase barrier.
+    fn trace_parallel(&self, cx: &mut CycleCx, workers: usize) {
+        let target = self.trace_target();
+        let deques: Vec<WorkerDeque<ObjectRef>> =
+            (0..workers).map(|_| WorkerDeque::new()).collect();
+        for (i, obj) in cx.mark_stack.drain(..).enumerate() {
+            deques[i % workers].push(obj);
+        }
+        let term = TraceTermination::new(workers);
+        let mut helper_cxs: Vec<CycleCx> = (1..workers).map(|_| CycleCx::new(self)).collect();
+        std::thread::scope(|s| {
+            for (i, hcx) in helper_cxs.iter_mut().enumerate() {
+                let deques = &deques;
+                let term = &term;
+                s.spawn(move || self.trace_worker(i + 1, target, deques, term, hcx));
+            }
+            self.trace_worker(0, target, &deques, &term, cx);
+        });
+        for hcx in &helper_cxs {
+            cx.merge_worker(hcx);
+            debug_assert!(hcx.mark_stack.is_empty());
+        }
+        debug_assert!(deques.iter().all(|d| d.is_empty()));
+    }
+
+    /// One mark worker: drain private stack and own deque (publishing
+    /// excess), steal when empty, and participate in §4.4 termination.
+    fn trace_worker(
+        &self,
+        w: usize,
+        target: Color,
+        deques: &[WorkerDeque<ObjectRef>],
+        term: &TraceTermination,
+        cx: &mut CycleCx,
+    ) {
+        let start = Instant::now();
+        let my = &deques[w];
+        let mut steals = 0u64;
+        let mut backoff = Backoff::new();
+        let mut epochs: Vec<Arc<MutatorShared>> = Vec::new();
+        'work: loop {
+            // Drain local work: private stack (hot, lock-free), then the
+            // own deque.  Publish the older half of an overgrown private
+            // stack so idle siblings have something to steal.
+            loop {
+                if cx.mark_stack.len() >= PUBLISH_MIN && my.is_empty() {
+                    term.steal_epoch.fetch_add(1, Ordering::SeqCst);
+                    let split = cx.mark_stack.len() / 2;
+                    my.push_batch(cx.mark_stack.drain(..split));
+                }
+                match cx.mark_stack.pop().or_else(|| my.pop()) {
+                    Some(obj) => self.mark_black(obj, target, cx),
+                    None => break,
+                }
+            }
+            // Out of local work: steal from a sibling deque, then the
+            // shared gray queue.  The fault point models a stalled or
+            // refused steal (chaos tests delay/fail here); a refused
+            // attempt just falls through to the idle loop, which re-tries.
+            if !fault::point("collector.worker") {
+                let stolen = deques
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != w)
+                    .find_map(|(_, d)| d.steal())
+                    .or_else(|| self.gray.pop());
+                if let Some(obj) = stolen {
+                    term.steal_epoch.fetch_add(1, Ordering::SeqCst);
+                    steals += 1;
+                    backoff.reset();
+                    self.mark_black(obj, target, cx);
+                    continue 'work;
+                }
+            }
+            // Truly idle: leave the active set and watch for either new
+            // work or a successful termination candidate.
+            term.active.fetch_sub(1, Ordering::SeqCst);
+            let quit = loop {
+                if term.done.load(Ordering::SeqCst) {
+                    break true;
+                }
+                if deques.iter().any(|d| !d.is_empty()) || !self.gray.is_empty() {
+                    break false; // work appeared — reactivate
+                }
+                // Termination candidate, in §4.4 order: steal-epoch
+                // before, workers all idle, a *fresh* registry snapshot
+                // all even, every deque and the gray queue empty, and
+                // the steal epoch unchanged (no worker went empty→
+                // non-empty behind our back).
+                let e1 = term.steal_epoch.load(Ordering::SeqCst);
+                if term.active.load(Ordering::SeqCst) == 0 {
+                    self.snapshot_mutators(&mut epochs);
+                    if epochs.iter().all(|m| m.epoch_is_even())
+                        && deques.iter().all(|d| d.is_empty())
+                        && self.gray.is_empty()
+                        && term.steal_epoch.load(Ordering::SeqCst) == e1
+                    {
+                        term.done.store(true, Ordering::SeqCst);
+                        break true;
+                    }
+                }
+                backoff.snooze();
+            };
+            if quit {
+                break 'work;
+            }
+            // Reactivate *before* touching any work so `active == 0`
+            // keeps meaning "no worker holds unscanned objects".
+            term.active.fetch_add(1, Ordering::SeqCst);
+            term.steal_epoch.fetch_add(1, Ordering::SeqCst);
+            backoff.reset();
+        }
+        self.obs
+            .note_worker_mark(w, dur_ns(start.elapsed()), steals);
     }
 }
 
@@ -74,6 +274,17 @@ mod tests {
             GcConfig::generational()
                 .with_max_heap(1 << 20)
                 .with_initial_heap(1 << 20),
+        );
+        let cx = CycleCx::new(&sh);
+        (sh, cx)
+    }
+
+    fn setup_threads(n: usize) -> (GcShared, CycleCx) {
+        let sh = GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_gc_threads(n),
         );
         let cx = CycleCx::new(&sh);
         (sh, cx)
@@ -198,5 +409,106 @@ mod tests {
         sh.trace(&mut cx);
         // Marked with the allocation color, not literal black.
         assert_eq!(sh.heap.colors().get(a.granule()), Color::Yellow);
+    }
+
+    /// Builds a wide two-level tree (fanout² + fanout + 1 objects) and
+    /// returns the root plus the total object count.
+    fn build_tree(sh: &GcShared, fanout: usize) -> (ObjectRef, u64) {
+        let root = alloc(sh, fanout, Color::White);
+        let mut count = 1u64;
+        for i in 0..fanout {
+            let mid = alloc(sh, fanout, Color::White);
+            sh.heap.arena().store_ref_slot(root, i, mid);
+            count += 1;
+            for j in 0..fanout {
+                let leaf = alloc(sh, 0, Color::White);
+                sh.heap.arena().store_ref_slot(mid, j, leaf);
+                count += 1;
+            }
+        }
+        (root, count)
+    }
+
+    #[test]
+    fn parallel_trace_marks_everything_exactly_once() {
+        let (sh, mut cx) = setup_threads(4);
+        sh.colors.toggle();
+        let (root, count) = build_tree(&sh, 24);
+        let dead = alloc(&sh, 0, Color::White);
+        sh.mark_gray_clear(root);
+        sh.trace(&mut cx);
+        // CAS-claimed marking counts every reachable object exactly once
+        // even with 4 workers racing over shared subtrees.
+        assert_eq!(cx.counters.objects_traced, count);
+        assert_eq!(sh.heap.colors().get(root.granule()), Color::Black);
+        assert_eq!(sh.heap.colors().get(dead.granule()), Color::White);
+        assert!(sh.gray.is_empty());
+    }
+
+    #[test]
+    fn parallel_counters_match_serial_on_identical_heap() {
+        // Satellite: merged per-worker counters must equal the
+        // single-threaded totals on an identical heap.
+        let build = |sh: &GcShared| {
+            sh.colors.toggle();
+            let (root, _) = build_tree(sh, 16);
+            sh.mark_gray_clear(root);
+        };
+        let (serial_sh, mut serial_cx) = setup_threads(1);
+        build(&serial_sh);
+        serial_sh.trace(&mut serial_cx);
+        let (par_sh, mut par_cx) = setup_threads(4);
+        build(&par_sh);
+        par_sh.trace(&mut par_cx);
+        assert_eq!(
+            serial_cx.counters.objects_traced,
+            par_cx.counters.objects_traced
+        );
+        // Both observe identical page touch-sets (same addresses).
+        assert_eq!(serial_cx.pages.touched(), par_cx.pages.touched());
+    }
+
+    #[test]
+    fn parallel_trace_waits_for_in_flight_barrier() {
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+        // The §4.4 termination protocol at N=4 must not terminate while
+        // a mutator's delayed gray push is in flight, even with every
+        // worker idle and all deques empty.
+        let (sh, mut cx) = setup_threads(4);
+        let sh = Arc::new(sh);
+        sh.colors.toggle();
+        let hidden = alloc(&sh, 0, Color::White);
+        let m = sh.register_mutator();
+        m.epoch_enter();
+        assert!(sh
+            .heap
+            .colors()
+            .cas(hidden.granule(), Color::White, Color::Gray));
+        let sh2 = Arc::clone(&sh);
+        let m2 = Arc::clone(&m);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            sh2.gray.push(hidden);
+            m2.epoch.fetch_add(1, Ordering::SeqCst);
+        });
+        sh.trace(&mut cx);
+        pusher.join().unwrap();
+        assert_eq!(sh.heap.colors().get(hidden.granule()), Color::Black);
+        assert_eq!(cx.counters.objects_traced, 1);
+    }
+
+    #[test]
+    fn parallel_workers_record_observability() {
+        let (sh, mut cx) = setup_threads(2);
+        sh.colors.toggle();
+        let (root, _) = build_tree(&sh, 8);
+        sh.mark_gray_clear(root);
+        sh.trace(&mut cx);
+        assert_eq!(sh.obs.workers.len(), 2);
+        // Every worker records one mark-phase sample per trace.
+        for w in &sh.obs.workers {
+            assert_eq!(w.mark_ns.count(), 1);
+        }
     }
 }

@@ -6,9 +6,15 @@
 //!
 //! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`Condvar`](sync::Condvar)/
 //!   [`RwLock`](sync::RwLock) wrappers over `std::sync` with the
-//!   `parking_lot`-style guard API (no `.unwrap()` at every lock site).
+//!   `parking_lot`-style guard API (no `.unwrap()` at every lock site),
+//!   plus [`Backoff`](sync::Backoff), the exponential spin/yield/park
+//!   ramp for the collector's quiescence loops.
 //! * [`queue`] — [`SegQueue`](queue::SegQueue), a mutex-sharded MPMC
 //!   injector queue for the gray-object work list.
+//! * [`steal`] — [`WorkerDeque`](steal::WorkerDeque), the per-worker
+//!   work-stealing deque (owner LIFO / thief FIFO, Chase–Lev access
+//!   pattern) under the parallel mark phase, with the same
+//!   conservative-length emptiness discipline as `SegQueue`.
 //! * [`rand`] — a seedable SplitMix64-seeded xoshiro256++ PRNG behind the
 //!   small [`RngExt`](rand::RngExt)/[`SeedableRng`](rand::SeedableRng)
 //!   API the workloads consume.
@@ -41,5 +47,6 @@ pub mod fault;
 pub mod hist;
 pub mod queue;
 pub mod rand;
+pub mod steal;
 pub mod sync;
 pub mod tablescan;

@@ -1,0 +1,216 @@
+//! Work-stealing deques for the parallel mark phase.
+//!
+//! Each collector worker owns a [`WorkerDeque`]: the owner pushes and
+//! pops at the *back* (LIFO — newly grayed objects are traced while
+//! their cache lines are hot), idle workers steal from the *front*
+//! (FIFO — thieves take the oldest, likely largest, subtrees).  That is
+//! the Chase–Lev access pattern; the implementation follows the same
+//! in-tree discipline as [`queue::SegQueue`](crate::queue::SegQueue)
+//! rather than the lock-free array algorithm: a mutex-protected ring
+//! plus a *conservative* atomic length that is incremented before the
+//! element becomes visible and decremented only after removal.
+//!
+//! The conservative length is what the trace-termination protocol
+//! consumes: `is_empty()` returning `true` (a `SeqCst` load of zero)
+//! proves the deque held nothing at that instant *and* that no push was
+//! in flight past its length increment — exactly the "no hidden work"
+//! reading §4.4's termination check needs.  A worker's *hot* path never
+//! touches the deque at all: workers trace out of a private `Vec` stack
+//! and publish batches of excess work here for thieves (MMTk-style work
+//! packets), so the mutex only serializes the rare publish/steal pairs,
+//! not every traced object.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::Mutex;
+
+/// A double-ended work queue owned by one collector worker and stolen
+/// from by the rest.
+///
+/// All methods take `&self`; "owner" vs "thief" is a usage convention
+/// (the owner calls [`push`](WorkerDeque::push)/[`pop`](WorkerDeque::pop),
+/// everyone else calls [`steal`](WorkerDeque::steal)), not a type-level
+/// restriction — the termination checker also reads every deque's
+/// [`is_empty`](WorkerDeque::is_empty).
+#[derive(Debug, Default)]
+pub struct WorkerDeque<T> {
+    items: Mutex<VecDeque<T>>,
+    /// Conservative length: incremented (SeqCst) *before* the element is
+    /// inserted, decremented after removal.  `0` proves emptiness.
+    len: AtomicUsize,
+}
+
+impl<T> WorkerDeque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> WorkerDeque<T> {
+        WorkerDeque {
+            items: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner: pushes `value` at the back.
+    pub fn push(&self, value: T) {
+        // Length first: a concurrent is_empty() may over-report, never
+        // under-report, so termination can only be delayed, not missed.
+        self.len.fetch_add(1, Ordering::SeqCst);
+        self.items.lock().push_back(value);
+    }
+
+    /// Owner: pushes a batch at the back under one lock acquisition.
+    pub fn push_batch(&self, values: impl ExactSizeIterator<Item = T>) {
+        let n = values.len();
+        if n == 0 {
+            return;
+        }
+        self.len.fetch_add(n, Ordering::SeqCst);
+        let mut items = self.items.lock();
+        for v in values {
+            items.push_back(v);
+        }
+    }
+
+    /// Owner: pops the most recently pushed element (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let popped = self.items.lock().pop_back();
+        if popped.is_some() {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+        }
+        popped
+    }
+
+    /// Thief: takes the oldest element (FIFO), leaving the owner's hot
+    /// end untouched.
+    pub fn steal(&self) -> Option<T> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let stolen = self.items.lock().pop_front();
+        if stolen.is_some() {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+        }
+        stolen
+    }
+
+    /// Thief: takes up to `max` of the oldest elements in one lock
+    /// acquisition, appending them to `out`.  Returns how many moved.
+    pub fn steal_batch_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 || self.len.load(Ordering::SeqCst) == 0 {
+            return 0;
+        }
+        let mut items = self.items.lock();
+        let n = items.len().min(max);
+        out.extend(items.drain(..n));
+        drop(items);
+        if n > 0 {
+            self.len.fetch_sub(n, Ordering::SeqCst);
+        }
+        n
+    }
+
+    /// Conservative element count (may over-report mid-insert).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// True iff the deque is empty *and* no insert is in flight past its
+    /// length increment — the reading the termination check relies on.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let d = WorkerDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(3), "owner takes the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn batch_push_and_batch_steal() {
+        let d = WorkerDeque::new();
+        d.push_batch([1, 2, 3, 4, 5].into_iter());
+        assert_eq!(d.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(d.steal_batch_into(&mut out, 3), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(d.steal_batch_into(&mut out, 10), 2);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(d.steal_batch_into(&mut out, 10), 0);
+        d.push_batch(std::iter::empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_lose_nothing_and_duplicate_nothing() {
+        const ITEMS: usize = 10_000;
+        const THIEVES: usize = 4;
+        let d = Arc::new(WorkerDeque::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..THIEVES {
+            let d = Arc::clone(&d);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while !done.load(Ordering::SeqCst) || !d.is_empty() {
+                    match d.steal() {
+                        Some(v) => got.push(v),
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        for i in 0..ITEMS {
+            d.push(i);
+            // The owner competes with the thieves half the time.
+            if i % 2 == 0 {
+                if let Some(v) = d.pop() {
+                    owner_got.push(v);
+                }
+            }
+        }
+        done.store(true, Ordering::SeqCst);
+        let mut all = owner_got;
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..ITEMS).collect();
+        assert_eq!(all, expect, "every pushed item seen exactly once");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_is_observed_only_after_removal_completes() {
+        // Conservative len: once push returns, is_empty() is false until
+        // a pop/steal fully completes — no window where the element is
+        // invisible to the termination check.
+        let d = WorkerDeque::new();
+        d.push(42);
+        assert!(!d.is_empty());
+        assert_eq!(d.pop(), Some(42));
+        assert!(d.is_empty());
+    }
+}

@@ -257,6 +257,70 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// Exponential backoff for spin-wait loops: a few `spin_loop` hints,
+/// then `yield_now`, then short bounded sleeps.
+///
+/// The collector's quiescence loops (trace termination waiting on odd
+/// mutator epochs, workers waiting for steals) previously burned a full
+/// `yield_now` per probe.  `Backoff` ramps the wait instead: the first
+/// probes cost only pipeline hints (the common case — the condition
+/// flips within nanoseconds), repeated failures escalate to yielding
+/// the timeslice, and a persistently false condition parks the thread
+/// in capped micro-sleeps so a single-core box can run the thread we
+/// are waiting *for*.  Call [`reset`](Backoff::reset) after useful work
+/// so the next wait starts cheap again.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin-hint for up to `2^SPIN_LIMIT` iterations per snooze.
+    const SPIN_LIMIT: u32 = 6;
+    /// Yield (instead of sleeping) until this step.
+    const YIELD_LIMIT: u32 = 10;
+    /// Sleep quantum once past the yield phase.
+    const PARK: Duration = Duration::from_micros(50);
+
+    /// Creates a backoff at the cheapest (pure spin) step.
+    #[inline]
+    pub fn new() -> Backoff {
+        Backoff { step: 0 }
+    }
+
+    /// Waits a little longer than the previous `snooze` call did.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+        } else if self.step <= Self::YIELD_LIMIT {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Self::PARK);
+        }
+        if self.step <= Self::YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Returns to the cheapest step — call after the awaited condition
+    /// made progress.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once the backoff has escalated past pure spinning — a hint
+    /// that the waiter should recheck slow-path conditions (e.g. take a
+    /// fresh registry snapshot) rather than keep spinning on a cache.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step > Self::YIELD_LIMIT
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +384,34 @@ mod tests {
         // Guard is intact after the timed-out wait.
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=Backoff::YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        // Completed backoff keeps sleeping without overflowing the step.
+        b.snooze();
+        b.snooze();
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn backoff_spin_phase_is_fast() {
+        // The first few snoozes must be pure spin hints — no syscalls —
+        // so a tight loop of them completes in well under a millisecond.
+        let start = std::time::Instant::now();
+        let mut b = Backoff::new();
+        for _ in 0..Backoff::SPIN_LIMIT {
+            b.snooze();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! subsequent release store of the start byte orders the whole fill, as
 //! before.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 /// Bytes per scan word.
@@ -87,6 +88,72 @@ pub fn force_reference(enabled: bool) {
 #[inline]
 fn use_reference() -> bool {
     FORCE_REFERENCE.load(Ordering::Relaxed)
+}
+
+/// Adaptive byte/word mode for the two *search* kernels.
+///
+/// Word scans win on sparse tables (long clean runs) and lose on dense
+/// ones: when nearly every call hits within its first few bytes, the
+/// alignment setup and mask work are pure overhead and the plain byte
+/// loop is faster (`BENCH_kernels.json` measured dense `sweep_walk` /
+/// `card_walk` at 0.77x).  Both search kernels therefore byte-scan a
+/// head covering the first full word *before touching any per-thread
+/// state* — the dense regime resolves there at byte-loop cost, with
+/// zero thread-local traffic.  Scans that survive the head consult a
+/// per-thread mode: after **two consecutive** such scans hit on their
+/// very first byte past the head, the kernel falls back to the byte loop;
+/// once the byte loop has seen a **full clean word's worth** of bytes
+/// without a hit, it re-enters word mode.  The mode changes only *which
+/// loop* runs — the returned index is identical in both, so the
+/// differential oracles hold regardless of mode history.
+#[derive(Clone, Copy)]
+struct Adapt {
+    /// True in the dense regime (pure byte loop).
+    byte_mode: bool,
+    /// Word mode: consecutive scans that hit on their first byte.
+    first_hits: u8,
+    /// Byte mode: consecutive clean bytes since the last hit.
+    clean_run: u8,
+}
+
+impl Adapt {
+    const WORD_MODE: Adapt = Adapt {
+        byte_mode: false,
+        first_hits: 0,
+        clean_run: 0,
+    };
+    const BYTE_MODE: Adapt = Adapt {
+        byte_mode: true,
+        first_hits: 0,
+        clean_run: 0,
+    };
+}
+
+/// Consecutive first-word hits that demote a kernel to byte mode.
+const FIRST_HITS_TO_BYTE: u8 = 2;
+
+thread_local! {
+    /// [`find_byte_not_in`]'s mode (the sweep's `skip_non_object`, the
+    /// card scan's `next_dirty`).
+    static ADAPT_SKIP: Cell<Adapt> = const { Cell::new(Adapt::WORD_MODE) };
+    /// [`find_run_end`]'s mode (the sweep's `object_end`).
+    static ADAPT_RUN: Cell<Adapt> = const { Cell::new(Adapt::WORD_MODE) };
+}
+
+/// Updates `st` after a scan over `[from, to)` returned `found`.  Only a
+/// hit on the *first byte* counts toward demotion: a hit deeper in the
+/// first word still cost just one word load, which the byte loop cannot
+/// beat.
+#[inline]
+fn note_scan_result(st: &mut Adapt, from: usize, to: usize, found: usize) {
+    if found < to && found == from {
+        st.first_hits += 1;
+        if st.first_hits >= FIRST_HITS_TO_BYTE {
+            *st = Adapt::BYTE_MODE;
+        }
+    } else {
+        st.first_hits = 0;
+    }
 }
 
 /// Splats `b` into every byte lane.
@@ -167,7 +234,9 @@ fn first_flag(mask: u64) -> usize {
 /// This is the SWAR "memchr-style" skip: the sweep's fast-forward over
 /// `Free`/`Interior` runs (`max = Interior`), the card scan's skip over
 /// clean cards (`max = CLEAN`), and `InitFullCollection`'s search for
-/// black/gray bytes (`max = Yellow`) are all instances.
+/// black/gray bytes (`max = Yellow`) are all instances.  Dispatches
+/// adaptively between the word path and a plain byte loop (see
+/// [`Adapt`]) so dense tables are not taxed with word-path setup.
 ///
 /// # Panics
 ///
@@ -178,43 +247,104 @@ pub fn find_byte_not_in(bytes: &[AtomicU8], from: usize, to: usize, max: u8) -> 
     if use_reference() {
         return reference::find_byte_not_in(bytes, from, to, max);
     }
+    // Byte-scan the unaligned head *plus* the first full word before
+    // touching any per-thread state: on dense tables the hit is almost
+    // always within the first few bytes, and for such tiny scans even
+    // the thread-local round-trip is measurable overhead.
     let mut g = from;
-    // Byte-scan the unaligned head *plus* the first full word: on dense
-    // tables the hit is almost always within the first few bytes, and a
-    // byte loop reaches it with none of the word-path setup cost.
-    let head_end = align_up(bytes, g + WORD).min(to);
+    let head_end = align_up(bytes, from + WORD).min(to);
     while g < head_end {
         if bytes[g].load(Ordering::Relaxed) > max {
             return g;
         }
         g += 1;
     }
-    // Aligned body, one word at a time.
-    while g + WORD <= to {
-        // SAFETY: g is address-aligned (align_up above, then += WORD)
-        // and g + WORD <= to <= bytes.len().
-        let w = unsafe { load_word(bytes, g) };
-        let m = gt_mask(w, max);
-        if m != 0 {
-            return g + first_flag(m);
-        }
-        g += WORD;
+    if g == to {
+        return to;
     }
-    // Tail.
-    while g < to {
-        if bytes[g].load(Ordering::Relaxed) > max {
-            return g;
+    skip_tail(bytes, g, to, max)
+}
+
+/// Cold continuation of [`find_byte_not_in`] past the head.  Outlined so
+/// the dense-regime hot path stays a tiny leaf function — keeping the
+/// TLS access and word machinery here keeps them off the common path's
+/// prologue entirely.
+#[cold]
+#[inline(never)]
+fn skip_tail(bytes: &[AtomicU8], from: usize, to: usize, max: u8) -> usize {
+    ADAPT_SKIP.with(|cell| {
+        let mut st = cell.get();
+        let found = scan_not_in(bytes, from, to, max, &mut st);
+        cell.set(st);
+        found
+    })
+}
+
+/// [`find_byte_not_in`] body past the head, threading the adaptive mode
+/// through `st`.  `from` is word-aligned on entry (the caller byte-scanned
+/// up to an alignment boundary).
+fn scan_not_in(bytes: &[AtomicU8], from: usize, to: usize, max: u8, st: &mut Adapt) -> usize {
+    let mut g = from;
+    // Dense regime: pure byte loop — no alignment, no masks.
+    if st.byte_mode {
+        while g < to {
+            if bytes[g].load(Ordering::Relaxed) > max {
+                st.clean_run = 0;
+                return g;
+            }
+            g += 1;
+            st.clean_run += 1;
+            if st.clean_run >= WORD as u8 {
+                // A full clean word's worth of bytes: sparse again.
+                *st = Adapt::WORD_MODE;
+                break;
+            }
         }
-        g += 1;
+        if st.byte_mode {
+            return to; // range exhausted while still dense
+        }
     }
-    to
+    let found = 'scan: {
+        // Re-align after a byte-mode exit at an arbitrary index (no-op
+        // straight off the aligned head).
+        let head_end = align_up(bytes, g).min(to);
+        while g < head_end {
+            if bytes[g].load(Ordering::Relaxed) > max {
+                break 'scan g;
+            }
+            g += 1;
+        }
+        // Aligned body, one word at a time.
+        while g + WORD <= to {
+            // SAFETY: g is address-aligned (align_up above, then += WORD)
+            // and g + WORD <= to <= bytes.len().
+            let w = unsafe { load_word(bytes, g) };
+            let m = gt_mask(w, max);
+            if m != 0 {
+                break 'scan g + first_flag(m);
+            }
+            g += WORD;
+        }
+        // Tail.
+        while g < to {
+            if bytes[g].load(Ordering::Relaxed) > max {
+                break 'scan g;
+            }
+            g += 1;
+        }
+        to
+    };
+    note_scan_result(st, from, to, found);
+    found
 }
 
 /// Returns the first index in `[from, to)` whose byte differs from
 /// `value`, or `to` if the whole range is a `value`-run.
 ///
 /// This finds the end of a homogeneous run — the sweep's object-extent
-/// scan over `Interior` bytes is the canonical caller.
+/// scan over `Interior` bytes is the canonical caller.  Adaptive like
+/// [`find_byte_not_in`]: a table of short runs (small objects) demotes
+/// the kernel to the byte loop until runs lengthen again.
 ///
 /// # Panics
 ///
@@ -224,33 +354,85 @@ pub fn find_run_end(bytes: &[AtomicU8], from: usize, to: usize, value: u8) -> us
     if use_reference() {
         return reference::find_run_end(bytes, from, to, value);
     }
+    // Head before any thread-local traffic — see find_byte_not_in: short
+    // runs (small objects) resolve here at plain byte-loop cost.
     let mut g = from;
-    // Head covers the first word too — see find_byte_not_in: short runs
-    // (small objects) resolve here without paying the word-path setup.
-    let head_end = align_up(bytes, g + WORD).min(to);
+    let head_end = align_up(bytes, from + WORD).min(to);
     while g < head_end {
         if bytes[g].load(Ordering::Relaxed) != value {
             return g;
         }
         g += 1;
     }
-    let v = splat(value);
-    while g + WORD <= to {
-        // SAFETY: as in find_byte_not_in.
-        let x = unsafe { load_word(bytes, g) } ^ v;
-        if x != 0 {
-            // Lowest nonzero lane = first byte differing from `value`.
-            return g + x.trailing_zeros() as usize / WORD;
-        }
-        g += WORD;
+    if g == to {
+        return to;
     }
-    while g < to {
-        if bytes[g].load(Ordering::Relaxed) != value {
-            return g;
+    run_tail(bytes, g, to, value)
+}
+
+/// Cold continuation of [`find_run_end`] past the head — see
+/// [`skip_tail`].
+#[cold]
+#[inline(never)]
+fn run_tail(bytes: &[AtomicU8], from: usize, to: usize, value: u8) -> usize {
+    ADAPT_RUN.with(|cell| {
+        let mut st = cell.get();
+        let found = scan_run_end(bytes, from, to, value, &mut st);
+        cell.set(st);
+        found
+    })
+}
+
+/// [`find_run_end`] body past the head, threading the adaptive mode
+/// through `st`.  `from` is word-aligned on entry.
+fn scan_run_end(bytes: &[AtomicU8], from: usize, to: usize, value: u8, st: &mut Adapt) -> usize {
+    let mut g = from;
+    if st.byte_mode {
+        while g < to {
+            if bytes[g].load(Ordering::Relaxed) != value {
+                st.clean_run = 0;
+                return g;
+            }
+            g += 1;
+            st.clean_run += 1;
+            if st.clean_run >= WORD as u8 {
+                *st = Adapt::WORD_MODE;
+                break;
+            }
         }
-        g += 1;
+        if st.byte_mode {
+            return to;
+        }
     }
-    to
+    let found = 'scan: {
+        // Re-align after a byte-mode exit (no-op off the aligned head).
+        let head_end = align_up(bytes, g).min(to);
+        while g < head_end {
+            if bytes[g].load(Ordering::Relaxed) != value {
+                break 'scan g;
+            }
+            g += 1;
+        }
+        let v = splat(value);
+        while g + WORD <= to {
+            // SAFETY: as in find_byte_not_in.
+            let x = unsafe { load_word(bytes, g) } ^ v;
+            if x != 0 {
+                // Lowest nonzero lane = first byte differing from `value`.
+                break 'scan g + x.trailing_zeros() as usize / WORD;
+            }
+            g += WORD;
+        }
+        while g < to {
+            if bytes[g].load(Ordering::Relaxed) != value {
+                break 'scan g;
+            }
+            g += 1;
+        }
+        to
+    };
+    note_scan_result(st, from, to, found);
+    found
 }
 
 /// Number of bytes in `[from, to)` equal to `value`.
@@ -543,6 +725,41 @@ mod tests {
         assert!(s[..5].iter().all(|&b| b == 7));
         assert!(s[5..27].iter().all(|&b| b == 0));
         assert!(s[27..].iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn adaptive_modes_agree_with_reference_across_regime_changes() {
+        // A dense prefix (hit every byte) demotes both search kernels to
+        // byte mode after two calls; the long clean run then promotes
+        // them back.  Every call in the churn must still agree with the
+        // byte-loop oracle — the mode changes cost, never results.
+        let mut v = vec![0u8; 256];
+        for (i, b) in v.iter_mut().enumerate().take(64) {
+            *b = if i % 2 == 0 { 2 } else { 1 }; // dense: hit at every even index
+        }
+        // v[64..] stays 0: one long sparse run.
+        let t = table(&v);
+        for from in 0..80 {
+            assert_eq!(
+                find_byte_not_in(&t, from, 256, 1),
+                reference::find_byte_not_in(&t, from, 256, 1),
+                "from={from}"
+            );
+            assert_eq!(
+                find_run_end(&t, from, 256, 1),
+                reference::find_run_end(&t, from, 256, 1),
+                "from={from}"
+            );
+        }
+        // And again starting sparse (byte mode left over from the dense
+        // churn must re-promote and still agree).
+        for from in [64, 100, 200, 255, 256] {
+            assert_eq!(
+                find_byte_not_in(&t, from, 256, 1),
+                reference::find_byte_not_in(&t, from, 256, 1),
+                "from={from}"
+            );
+        }
     }
 
     #[test]

@@ -101,6 +101,51 @@ fn chaos_matrix_verifies_clean_under_fault_plans() {
     }
 }
 
+/// The parallel back-end under chaos: every variant runs with four GC
+/// workers while `collector.worker` injections delay and yield workers at
+/// steal attempts (mark) and segment claims (sweep), stretching the
+/// §4.4 termination race windows.  The heap must still verify clean and
+/// the per-worker stats must show all four workers participated — if the
+/// extended termination check ever fired early, the sweep would reclaim
+/// live objects and verification would catch it.
+#[test]
+fn parallel_chaos_matrix_verifies_clean_at_four_workers() {
+    let _serial = fault::exclusive();
+    let plan = || {
+        FaultPlan::new(0x5EED)
+            .rule(
+                FaultRule::at("collector.worker")
+                    .delaying(0.2, 300)
+                    .yielding(0.3),
+            )
+            .rule(FaultRule::at("mutator.cooperate").yielding(0.2))
+            .rule(FaultRule::at("mutator.barrier.window").yielding(0.1))
+            .rule(FaultRule::at("collector.phase").delaying(0.2, 200))
+    };
+    let w = Chaos::new().with_threads(3).scaled(0.2);
+    for cfg in variants() {
+        let cfg = cfg.with_gc_threads(4);
+        fault::install(plan());
+        let (result, violations) = driver::run_workload_verified(&w, cfg, 31);
+        let log = fault::uninstall();
+        assert!(
+            violations.is_empty(),
+            "N=4 chaos under {:?} left heap violations after {} injections: {violations:?}",
+            cfg.mode,
+            log.len()
+        );
+        assert_eq!(
+            result.stats.workers.len(),
+            4,
+            "expected per-worker stats for all four GC workers"
+        );
+        assert!(
+            result.stats.workers[0].mark.count() > 0,
+            "worker 0 never recorded a mark phase"
+        );
+    }
+}
+
 /// Panic containment: when the collector thread dies, allocation-blocked
 /// mutators must *not* hang — heap exhaustion surfaces as
 /// [`AllocError::CollectorUnavailable`] within a bounded time, and the
