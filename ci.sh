@@ -38,10 +38,25 @@ grep -q '"bench": "parallel"' target/BENCH_parallel_ci.json
 grep -q '"n1_parity": true' target/BENCH_parallel_ci.json
 grep -q '"p999_ok": true' target/BENCH_parallel_ci.json
 
+# Smoke-run the allocator scalability benchmark (sharded block-store
+# back-end vs the single free list at 1/4/16 mutator threads).  The
+# binary exits non-zero on any heap violation or if a gate fails; the
+# greps pin the verdicts: sharded N=1 throughput parity with the
+# unsharded oracle, and no allocation-stall regression from sharding.
+OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_scale_ci.json \
+    ./target/release/bench_scale --quick
+grep -q '"bench": "scale"' target/BENCH_scale_ci.json
+grep -q '"n1_parity": true' target/BENCH_scale_ci.json
+grep -q '"alloc_stall_ok": true' target/BENCH_scale_ci.json
+
 # The full integration suites again with four GC workers: every
 # collector-driven test (correctness, chaos, observability) must hold
 # under the parallel back-end, not just the serial default.
 OTF_GC_THREADS=4 cargo test -q --offline --test chaos --test gc_correctness
+
+# And again with the sharded heap back-end: the GC protocol must be
+# oblivious to the allocator substrate.
+OTF_GC_SHARDS=4 cargo test -q --offline --test chaos --test gc_correctness
 
 # Chaos smoke: the fixed-seed fault-injection matrix (debug build — the
 # debug_asserts on the hardened failure paths must hold too).  The binary
@@ -49,3 +64,8 @@ OTF_GC_THREADS=4 cargo test -q --offline --test chaos --test gc_correctness
 # non-reproducible injection sequence, or uncontained collector death.
 cargo build --offline -p otf-bench --bin stress_chaos
 ./target/debug/stress_chaos --quick --seed 42
+
+# The chaos matrix once more with sharding enabled: `heap.alloc_chunk`
+# faults fire before the backend dispatch, so an injected allocation
+# failure still simulates whole-heap exhaustion on the sharded path.
+OTF_GC_SHARDS=4 ./target/debug/stress_chaos --quick --seed 42

@@ -1,0 +1,340 @@
+//! Allocator scalability benchmark: allocation throughput as the mutator
+//! thread count scales, sharded vs. unsharded heap back-end.
+//!
+//! Runs a linked-list allocation churn at 1/4/16 mutator threads under
+//! two arms: the original single free-list allocator (`alloc_shards = 0`)
+//! and the sharded block-store back-end (DESIGN.md §4.5, 16 shards).
+//! Every run ends at a quiescent point and is heap-verified.  Reported
+//! per row: wall time, allocation throughput, allocation-stall
+//! p99.9/max, and heap violations.
+//!
+//! Gates (generous slack — this harness must pass on a single-core
+//! container, where threads only add scheduling noise):
+//!
+//! * **N=1 parity** — one mutator on the sharded arm takes an
+//!   uncontended single-shard path, so its throughput must track the
+//!   unsharded arm's (within 2x).
+//! * **alloc-stall non-regression** — sharding must not introduce
+//!   allocation stalls: at every thread count the sharded arm's p99.9
+//!   stall stays within 10x + 20 ms of the unsharded arm's.
+//! * **zero heap violations** — hard failure.
+//!
+//! The 16-thread throughput speedup over 1 thread is *recorded* (with
+//! the machine's available parallelism) but never gated: on one core the
+//! honest expectation is ~1.0x or below.
+//!
+//! Emits `BENCH_scale.json` (override with `OTF_BENCH_OUT`); exits
+//! non-zero on heap violations or a gate failure.  Accepts the standard
+//! figure-harness flags (`--scale`, `--reps`, `--seed`, `--quick`).
+
+use std::time::{Duration, Instant};
+
+use otf_bench::measure::Options;
+use otf_bench::table::Table;
+use otf_gc::{Gc, GcConfig, Mutator, ObjShape};
+use otf_support::hist::Snapshot;
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 16];
+const SHARDS: usize = 16;
+/// Nodes per rooted chain before it is dropped (becomes garbage).
+const CHAIN: usize = 256;
+
+struct ScaleResult {
+    arm: &'static str,
+    threads: usize,
+    elapsed: Duration,
+    /// Bytes allocated across all threads and reps.
+    bytes: u64,
+    objects: u64,
+    alloc_stall: Snapshot,
+    violations: usize,
+    /// Allocation failures (OOM under pressure) — expected zero.
+    failures: usize,
+}
+
+impl ScaleResult {
+    fn mb_per_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// One thread's allocation churn: rooted chains of small linked nodes,
+/// dropped after completion so the collector has garbage to reclaim.
+fn churn(m: &mut Mutator, objects: usize) -> usize {
+    let shape = ObjShape::new(1, 1); // 2 granules: 1 ref, 1 data word
+    let mut failures = 0usize;
+    let mut done = 0usize;
+    while done < objects {
+        let chain = CHAIN.min(objects - done);
+        match m.alloc(&shape) {
+            Ok(head) => {
+                let idx = m.root_push(head);
+                let mut prev = head;
+                for _ in 1..chain {
+                    match m.alloc(&shape) {
+                        Ok(o) => {
+                            m.write_ref(o, 0, prev);
+                            m.root_set(idx, o);
+                            prev = o;
+                        }
+                        Err(_) => failures += 1,
+                    }
+                }
+                m.root_pop();
+            }
+            Err(_) => failures += chain,
+        }
+        done += chain;
+        m.cooperate();
+    }
+    failures
+}
+
+fn run_case(
+    arm: &'static str,
+    shards: usize,
+    threads: usize,
+    per_thread: usize,
+    o: &Options,
+) -> ScaleResult {
+    let mut elapsed = Duration::ZERO;
+    let mut bytes = 0u64;
+    let mut objects = 0u64;
+    let mut alloc_stall = Snapshot::default();
+    let mut violations = 0usize;
+    let mut failures = 0usize;
+    for _rep in 0..o.reps.max(1) {
+        let mut gc = Gc::new(GcConfig::generational().with_alloc_shards(shards));
+        let t0 = Instant::now();
+        let rep_failures: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let mut m = gc.mutator();
+                    s.spawn(move || churn(&mut m, per_thread))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        elapsed += t0.elapsed();
+        failures += rep_failures;
+        gc.stop_collector();
+        violations += gc.verify_heap().len();
+        let stats = gc.stats();
+        bytes += stats.bytes_allocated;
+        objects += stats.objects_allocated;
+        alloc_stall.merge(&stats.alloc_stall);
+    }
+    ScaleResult {
+        arm,
+        threads,
+        elapsed,
+        bytes,
+        objects,
+        alloc_stall,
+        violations,
+        failures,
+    }
+}
+
+/// Sharded N=1 throughput must track the unsharded arm (within 2x).
+fn n1_parity(rows: &[ScaleResult]) -> bool {
+    let unsharded = rows
+        .iter()
+        .find(|r| r.arm == "unsharded" && r.threads == 1)
+        .map(|r| r.mb_per_s())
+        .unwrap_or(0.0);
+    let sharded = rows
+        .iter()
+        .find(|r| r.arm == "sharded" && r.threads == 1)
+        .map(|r| r.mb_per_s())
+        .unwrap_or(0.0);
+    let ok = sharded * 2.0 >= unsharded;
+    if !ok {
+        eprintln!(
+            "error: sharded N=1 throughput {sharded:.1} MB/s vs unsharded \
+             {unsharded:.1} MB/s — parity broken"
+        );
+    }
+    ok
+}
+
+/// The sharded arm must not introduce allocation stalls: p99.9 within
+/// 10x + 20 ms of the unsharded arm at the same thread count.
+fn alloc_stall_ok(rows: &[ScaleResult]) -> bool {
+    rows.iter().filter(|r| r.arm == "sharded").all(|r| {
+        let base = rows
+            .iter()
+            .find(|b| b.arm == "unsharded" && b.threads == r.threads)
+            .map(|b| b.alloc_stall.quantile(0.999))
+            .unwrap_or(0);
+        let bound = base.saturating_mul(10) + 20_000_000;
+        let ok = r.alloc_stall.quantile(0.999) <= bound;
+        if !ok {
+            eprintln!(
+                "error: sharded N={} alloc-stall p99.9 {:.1} us vs unsharded \
+                 {:.1} us — stall regression",
+                r.threads,
+                us(r.alloc_stall.quantile(0.999)),
+                us(base)
+            );
+        }
+        ok
+    })
+}
+
+/// Sharded 16-thread / 1-thread throughput ratio (informational only).
+fn speedup_16(rows: &[ScaleResult]) -> f64 {
+    let t1 = rows
+        .iter()
+        .find(|r| r.arm == "sharded" && r.threads == 1)
+        .map(|r| r.mb_per_s())
+        .unwrap_or(0.0);
+    let t16 = rows
+        .iter()
+        .find(|r| r.arm == "sharded" && r.threads == 16)
+        .map(|r| r.mb_per_s())
+        .unwrap_or(0.0);
+    if t1 == 0.0 {
+        0.0
+    } else {
+        t16 / t1
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn write_json(
+    rows: &[ScaleResult],
+    cores: usize,
+    parity: bool,
+    stall_ok: bool,
+    speedup: f64,
+    o: &Options,
+    path: &str,
+) {
+    let mut j = String::from("{\n  \"bench\": \"scale\",\n");
+    j.push_str(&format!(
+        "  \"cores\": {cores}, \"shards\": {SHARDS}, \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
+        o.scale, o.reps, o.seed
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"arm\": \"{}\", \"threads\": {}, \"elapsed_ms\": {:.2}, \
+             \"mb_per_s\": {:.2}, \"objects\": {}, \"alloc_stall_p999_us\": {:.1}, \
+             \"alloc_stall_max_us\": {:.1}, \"failures\": {}, \"violations\": {}}}{}\n",
+            json_escape_free(r.arm),
+            r.threads,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.mb_per_s(),
+            r.objects,
+            us(r.alloc_stall.quantile(0.999)),
+            us(r.alloc_stall.max()),
+            r.failures,
+            r.violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"n1_parity\": {parity}, \"alloc_stall_ok\": {stall_ok}, \
+         \"speedup_16\": {speedup:.3}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let o = Options::from_args();
+    let quick = std::env::var_os("OTF_BENCH_QUICK").is_some() || o.scale < 0.2;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Work per thread (weak scaling: throughput should rise with the
+    // thread count on a multi-core host).
+    let per_thread = if quick {
+        20_000
+    } else {
+        (200_000.0 * o.scale) as usize
+    }
+    .max(CHAIN);
+
+    println!(
+        "== allocator scalability ({cores} core(s) available, \
+         {per_thread} objects/thread) ==\n"
+    );
+
+    let arms: [(&'static str, usize); 2] = [("unsharded", 0), ("sharded", SHARDS)];
+    let mut rows = Vec::new();
+    for (arm, shards) in arms {
+        for n in THREAD_COUNTS {
+            let r = run_case(arm, shards, n, per_thread, &o);
+            println!(
+                "{arm:<9} N={n:<2}  {:>8.1} MB/s  stall p99.9 {:>9.1} us  \
+                 violations {}",
+                r.mb_per_s(),
+                us(r.alloc_stall.quantile(0.999)),
+                r.violations,
+            );
+            rows.push(r);
+        }
+    }
+
+    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+    let parity = n1_parity(&rows);
+    let stall_ok = alloc_stall_ok(&rows);
+    let speedup = speedup_16(&rows);
+
+    let mut t = Table::new("allocator scalability: throughput by mutator thread count");
+    t.header([
+        "arm",
+        "threads",
+        "throughput",
+        "stall p99.9",
+        "stall max",
+        "failures",
+        "violations",
+    ]);
+    for r in &rows {
+        t.row([
+            r.arm.to_string(),
+            r.threads.to_string(),
+            format!("{:.1} MB/s", r.mb_per_s()),
+            format!("{:.1} us", us(r.alloc_stall.quantile(0.999))),
+            format!("{:.1} us", us(r.alloc_stall.max())),
+            r.failures.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!(
+        "\nsharded 16-thread throughput speedup {speedup:.2}x over 1 thread \
+         on {cores} core(s) — informational, not gated"
+    );
+
+    let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    write_json(&rows, cores, parity, stall_ok, speedup, &o, &path);
+
+    if total_violations > 0 {
+        eprintln!("{total_violations} heap violation(s) across the matrix");
+        std::process::exit(1);
+    }
+    if !parity || !stall_ok {
+        eprintln!("gate failure: n1_parity={parity} alloc_stall_ok={stall_ok}");
+        std::process::exit(1);
+    }
+}

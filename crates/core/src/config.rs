@@ -1,6 +1,6 @@
 //! Collector configuration (the paper's tuning parameters, §8.3/§8.5).
 
-use otf_heap::{MAX_CARD_SIZE, MIN_CARD_SIZE};
+use otf_heap::{BLOCK_GRANULES, GRANULE, MAX_CARD_SIZE, MAX_HEAP_GRANULES, MIN_CARD_SIZE};
 
 /// How surviving objects are promoted to the old generation.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -89,6 +89,15 @@ pub struct GcConfig {
     /// variable as the default, so test matrices can parallelize every
     /// collector without code changes.
     pub gc_threads: usize,
+    /// Number of allocation shards for the sharded heap back-end
+    /// (DESIGN.md §4.5).  `0` (the default) selects the original single
+    /// free-list allocator — the semantic oracle.  `N ≥ 1` carves the
+    /// arena into a global block store with `N` private shard pools;
+    /// mutators pin to a shard by registration id, so LAB refills and
+    /// sweep flushes stop contending on one global lock.  The
+    /// constructors read the `OTF_GC_SHARDS` environment variable as the
+    /// default, mirroring `OTF_GC_THREADS`.
+    pub alloc_shards: usize,
 }
 
 /// Reads the `OTF_GC_THREADS` default for the constructors (falls back
@@ -106,6 +115,20 @@ fn gc_threads_from_env() -> usize {
 /// instead of spawning thousands of threads per cycle.
 pub const MAX_GC_THREADS: usize = 64;
 
+/// Upper bound on [`GcConfig::alloc_shards`], for the same reason as
+/// [`MAX_GC_THREADS`].
+pub const MAX_ALLOC_SHARDS: usize = 64;
+
+/// Reads the `OTF_GC_SHARDS` default for the constructors (falls back
+/// to 0 — the unsharded allocator — when unset or invalid).
+fn alloc_shards_from_env() -> usize {
+    std::env::var("OTF_GC_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n <= MAX_ALLOC_SHARDS)
+        .unwrap_or(0)
+}
+
 impl GcConfig {
     /// The paper's best generational configuration: simple promotion,
     /// 4 MB young generation, 16-byte cards.
@@ -122,6 +145,7 @@ impl GcConfig {
             trace_events: false,
             handshake_stall_ms: 1000,
             gc_threads: gc_threads_from_env(),
+            alloc_shards: alloc_shards_from_env(),
         }
     }
 
@@ -203,6 +227,13 @@ impl GcConfig {
         self
     }
 
+    /// Sets the allocation shard count (`0` = the unsharded allocator;
+    /// see [`GcConfig::alloc_shards`]).
+    pub fn with_alloc_shards(mut self, n: usize) -> GcConfig {
+        self.alloc_shards = n;
+        self
+    }
+
     /// Whether this configuration is generational.
     pub fn is_generational(&self) -> bool {
         matches!(self.mode, Mode::Generational(_))
@@ -250,6 +281,26 @@ impl GcConfig {
             return Err(format!(
                 "gc_threads {} not in [1, {MAX_GC_THREADS}]",
                 self.gc_threads
+            ));
+        }
+        if self.max_heap.div_ceil(GRANULE) > MAX_HEAP_GRANULES {
+            return Err(format!(
+                "max_heap {} exceeds the u32 object-offset space ({} bytes)",
+                self.max_heap,
+                MAX_HEAP_GRANULES as u64 * GRANULE as u64,
+            ));
+        }
+        if self.alloc_shards > MAX_ALLOC_SHARDS {
+            return Err(format!(
+                "alloc_shards {} not in [0, {MAX_ALLOC_SHARDS}]",
+                self.alloc_shards
+            ));
+        }
+        if self.alloc_shards > 0 && self.initial_heap < BLOCK_GRANULES * GRANULE {
+            return Err(format!(
+                "sharded allocation needs an initial heap of at least one \
+                 block ({} bytes)",
+                BLOCK_GRANULES * GRANULE
             ));
         }
         Ok(())
@@ -320,6 +371,29 @@ mod tests {
         assert!(c.validate().is_ok());
         let mut c = GcConfig::generational();
         c.gc_threads = MAX_GC_THREADS + 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn alloc_shards_validated() {
+        let c = GcConfig::generational().with_alloc_shards(8);
+        assert_eq!(c.alloc_shards, 8);
+        assert!(c.validate().is_ok());
+        let c = GcConfig::generational().with_alloc_shards(MAX_ALLOC_SHARDS + 1);
+        assert!(c.validate().is_err());
+        // A sharded heap needs at least one whole block committed.
+        let c = GcConfig::generational()
+            .with_alloc_shards(2)
+            .with_initial_heap(1 << 10);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_max_heap_rejected() {
+        let c = GcConfig::generational()
+            .with_max_heap(1usize << 33)
+            .with_initial_heap(1 << 20);
         assert!(c.validate().is_err());
     }
 }

@@ -186,6 +186,12 @@ impl Gc {
         self.shared.heap.committed_bytes()
     }
 
+    /// Free granules currently pooled across all free lists (every shard
+    /// plus the block store on the sharded back-end).
+    pub fn free_granules(&self) -> u64 {
+        self.shared.heap.free_list_granules()
+    }
+
     /// Total objects allocated so far.
     pub fn objects_allocated(&self) -> u64 {
         self.shared.heap.objects_allocated()
@@ -224,6 +230,15 @@ impl Gc {
                     steals: w.steals.load(Ordering::Relaxed),
                 })
                 .collect(),
+            alloc_shards: self.shared.heap.shard_count(),
+            shard_free_granules: if self.shared.config.alloc_shards > 0 {
+                (0..self.shared.heap.shard_count())
+                    .map(|i| self.shared.heap.shard_free_granules(i))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            store_free_granules: self.shared.heap.store_free_granules(),
         }
     }
 

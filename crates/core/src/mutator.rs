@@ -99,6 +99,11 @@ pub struct Mutator {
     /// Bytes allocated since the last trigger evaluation (batched so the
     /// global trigger checks run once per ~64 KB, not per allocation).
     unflushed_bytes: usize,
+    /// Home allocation shard (registration id modulo the shard count):
+    /// LAB refills and direct chunks come from here, so mutators on
+    /// different shards don't contend on one free-list lock.  Always 0
+    /// on the unsharded back-end.
+    shard: usize,
 }
 
 /// Allocation granularity at which collection triggers are re-evaluated.
@@ -112,6 +117,7 @@ impl Mutator {
             Mode::Generational(Promotion::Simple) => BarrierKind::Simple,
             Mode::Generational(Promotion::Aging { .. }) => BarrierKind::Aging,
         };
+        let shard = me.id as usize % shared.heap.shard_count();
         Mutator {
             shared,
             me,
@@ -119,6 +125,7 @@ impl Mutator {
             roots: Vec::new(),
             barrier,
             unflushed_bytes: 0,
+            shard,
         }
     }
 
@@ -149,11 +156,13 @@ impl Mutator {
 
     fn acquire_granules(&mut self, n: u32) -> Result<usize, AllocError> {
         if let Some(s) = self.lab.try_carve(n) {
+            self.shared.heap.note_lab_carve(n);
             return Ok(s as usize);
         }
         let lab_granules = self.shared.config.lab_granules;
         if n >= lab_granules / 2 {
-            // Large object: allocate its chunk directly.
+            // Large object: allocate its chunk directly (it is carved into
+            // an object immediately, so it never counts as leased-unused).
             let c = self.alloc_chunk_blocking(n, n)?;
             if c.len < n {
                 // A chunk shorter than `min` is a substrate bug, but a
@@ -167,17 +176,23 @@ impl Mutator {
         }
         otf_support::fault::point("mutator.lab.refill");
         let chunk = self.alloc_chunk_blocking(n, lab_granules)?;
+        self.shared.heap.note_lab_lease(chunk.len);
         if let Some(rest) = self.lab.refill(chunk) {
+            self.shared.heap.note_lab_retire(rest.len);
             self.shared.heap.free_chunk(rest);
         }
         match self.lab.try_carve(n) {
-            Some(s) => Ok(s as usize),
+            Some(s) => {
+                self.shared.heap.note_lab_carve(n);
+                Ok(s as usize)
+            }
             None => {
                 // The fresh LAB was too short for the request.  Hand the
                 // remainder back so the granules are not leaked and fail
                 // the allocation instead of aborting the process.
                 debug_assert!(false, "fresh LAB cannot satisfy {n} granules");
                 if let Some(rest) = self.lab.take_remainder() {
+                    self.shared.heap.note_lab_retire(rest.len);
                     self.shared.heap.free_chunk(rest);
                 }
                 Err(self.alloc_failure(n))
@@ -206,7 +221,7 @@ impl Mutator {
         preferred: u32,
     ) -> Result<otf_heap::Chunk, AllocError> {
         for _attempt in 0..8 {
-            if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
+            if let Some(c) = self.shared.heap.alloc_chunk_on(self.shard, min, preferred) {
                 return Ok(c);
             }
             if self.shared.control.is_shutdown() || self.shared.control.is_poisoned() {
@@ -228,7 +243,7 @@ impl Mutator {
             self.shared
                 .obs
                 .note_alloc_stall(dur_ns(stall_start.elapsed()));
-            if let Some(c) = self.shared.heap.alloc_chunk(min, preferred) {
+            if let Some(c) = self.shared.heap.alloc_chunk_on(self.shard, min, preferred) {
                 return Ok(c);
             }
             // The collection did not produce enough space: grow.
@@ -498,6 +513,7 @@ impl Drop for Mutator {
         }
         // Return the unallocated LAB tail and leave the handshake protocol.
         if let Some(rest) = self.lab.take_remainder() {
+            self.shared.heap.note_lab_retire(rest.len);
             self.shared.heap.free_chunk(rest);
         }
         self.shared.deregister_mutator(&self.me);
@@ -721,6 +737,81 @@ mod tests {
         let obj = m.alloc(&big).unwrap();
         assert_eq!(shared.heap.colors().get(obj.granule()), Color::White);
         assert_eq!(m.header(obj).size_granules(), big.size_granules());
+    }
+
+    #[test]
+    fn mostly_empty_labs_do_not_trigger_full_collection() {
+        // Regression for the premature-full-collection bug: three
+        // mutators each lease a 256 KB LAB on a 1 MB heap and install one
+        // tiny object.  Raw `used_bytes` crosses the 75% trigger, but
+        // almost all of it is leased-unused LAB space.
+        let shared = Arc::new(GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_lab_granules(16384),
+        ));
+        let mut muts: Vec<Mutator> = (0..3).map(|_| Mutator::new(Arc::clone(&shared))).collect();
+        for m in &mut muts {
+            let r = m.alloc(&ObjShape::new(0, 0)).unwrap();
+            m.root_push(r);
+        }
+        assert!(
+            shared.heap.used_bytes() * 4 >= shared.heap.committed_bytes() * 3,
+            "test premise: raw used crosses the 75% trigger"
+        );
+        shared.control.add_allocated(128 << 10); // past the progress floor
+        shared.evaluate_triggers();
+        shared.control.begin_shutdown();
+        assert_eq!(
+            shared.control.next_request(),
+            None,
+            "mostly-empty LABs fired a premature full collection"
+        );
+    }
+
+    #[test]
+    fn lab_lease_accounting_balances_on_drop() {
+        let (shared, mut m) = setup(GcConfig::generational());
+        let _ = m.alloc(&ObjShape::new(0, 0)).unwrap();
+        let leased = shared.heap.lab_leased_granules();
+        assert!(leased > 0, "LAB lease not recorded");
+        drop(m);
+        assert_eq!(
+            shared.heap.lab_leased_granules(),
+            0,
+            "retiring the LAB must return the leased-unused figure to zero"
+        );
+    }
+
+    #[test]
+    fn mutators_pin_to_distinct_shards() {
+        let shared = Arc::new(GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_alloc_shards(2),
+        ));
+        let m1 = Mutator::new(Arc::clone(&shared));
+        let m2 = Mutator::new(Arc::clone(&shared));
+        assert_ne!(m1.shard, m2.shard, "consecutive ids share a shard");
+        assert!(m1.shard < 2 && m2.shard < 2);
+    }
+
+    #[test]
+    fn alloc_on_sharded_heap_round_trips() {
+        let shared = Arc::new(GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_alloc_shards(4),
+        ));
+        let mut m = Mutator::new(Arc::clone(&shared));
+        let x = m.alloc(&ObjShape::new(1, 0)).unwrap();
+        let y = m.alloc(&ObjShape::new(0, 4)).unwrap();
+        m.write_ref(x, 0, y);
+        assert_eq!(m.read_ref(x, 0), y);
+        assert_eq!(shared.heap.colors().get(x.granule()), Color::White);
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl std::fmt::Debug for GcShared {
 impl GcShared {
     pub(crate) fn new(config: GcConfig) -> GcShared {
         config.validate().expect("invalid GcConfig");
-        let heap = HeapSpace::new(config.max_heap, config.initial_heap);
+        let heap = if config.alloc_shards > 0 {
+            HeapSpace::with_shards(config.max_heap, config.initial_heap, config.alloc_shards)
+        } else {
+            HeapSpace::new(config.max_heap, config.initial_heap)
+        };
         let cards = CardTable::new(config.max_heap, config.card_size);
         GcShared {
             config,
@@ -215,8 +219,14 @@ impl GcShared {
         }
         // Full collection when the heap is "almost full" (§3.3) — but only
         // after some allocation progress, to avoid re-triggering endlessly
-        // on a mostly-live heap.
-        let used = self.heap.used_bytes() as f64;
+        // on a mostly-live heap.  `used_granules` counts whole LABs at
+        // grant time, so subtract the leased-but-uncarved portion: with
+        // many mutators (one LAB each) the raw figure reads mostly-empty
+        // buffers as pressure and fires premature full collections.
+        let used = self
+            .heap
+            .used_bytes()
+            .saturating_sub(self.heap.lab_leased_bytes()) as f64;
         let committed = self.heap.committed_bytes() as f64;
         if used >= self.config.full_trigger_fraction * committed && since >= (64 << 10) {
             self.control.request_full();
@@ -591,6 +601,54 @@ mod tests {
             sh.control.next_request(),
             Some(crate::stats::CycleKind::Full)
         );
+    }
+
+    #[test]
+    fn leased_lab_granules_do_not_fire_full_trigger() {
+        // Regression: `used_granules` is bumped at LAB grant, not object
+        // install, so a fleet of mostly-empty LABs used to read as heap
+        // pressure and fire premature full collections.
+        let sh = small(); // 1 MB heap
+        let granules = (sh.heap.committed_bytes() * 4 / 5 / 16) as u32; // 80%
+        let c = sh.heap.alloc_chunk(granules, granules).unwrap();
+        sh.heap.note_lab_lease(c.len);
+        sh.control.add_allocated(128 << 10); // past the progress floor
+        sh.evaluate_triggers();
+        sh.control.begin_shutdown();
+        assert_eq!(
+            sh.control.next_request(),
+            None,
+            "leased-but-empty LABs must not count as used"
+        );
+    }
+
+    #[test]
+    fn carved_lab_granules_still_fire_full_trigger() {
+        let sh = small();
+        let granules = (sh.heap.committed_bytes() * 4 / 5 / 16) as u32;
+        let c = sh.heap.alloc_chunk(granules, granules).unwrap();
+        sh.heap.note_lab_lease(c.len);
+        sh.heap.note_lab_carve(c.len); // all of it now holds objects
+        sh.control.add_allocated(128 << 10);
+        sh.evaluate_triggers();
+        assert_eq!(
+            sh.control.next_request(),
+            Some(crate::stats::CycleKind::Full)
+        );
+    }
+
+    #[test]
+    fn sharded_config_builds_sharded_heap() {
+        let sh = GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_alloc_shards(4),
+        );
+        assert_eq!(sh.heap.shard_count(), 4);
+        let c = sh.heap.alloc_chunk_on(3, 8, 8).unwrap();
+        sh.heap.free_chunk(c);
+        assert!(sh.heap.shard_free_granules(3) >= 8, "routed to owner");
     }
 
     #[test]

@@ -17,6 +17,14 @@ pub const GRANULE_LOG2: u32 = 4;
 /// Size of a heap word (one slot) in bytes.
 pub const WORD: usize = 8;
 
+/// Largest heap size, in granules, that the `u32` byte offsets inside
+/// [`ObjectRef`] and [`crate::Chunk`] can address: granule index
+/// `MAX_HEAP_GRANULES - 1` shifts to exactly `u32::MAX & !0xF`.  Arenas
+/// (and `GcConfig::max_heap`) beyond this would silently wrap at the
+/// `usize -> u32` conversion sites, so `Arena::new` rejects them up
+/// front.
+pub const MAX_HEAP_GRANULES: usize = (u32::MAX as usize >> GRANULE_LOG2) + 1;
+
 /// Number of words per granule.
 pub const WORDS_PER_GRANULE: usize = GRANULE / WORD;
 
@@ -61,8 +69,19 @@ impl ObjectRef {
     }
 
     /// Builds a reference from a granule index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `granule` is outside the `u32` byte
+    /// address space (see [`MAX_HEAP_GRANULES`]) — in release builds the
+    /// offset would wrap silently, which `Arena::new`'s size validation
+    /// makes unreachable.
     #[inline]
     pub fn from_granule(granule: usize) -> ObjectRef {
+        debug_assert!(
+            granule < MAX_HEAP_GRANULES,
+            "granule {granule} beyond the u32 offset space"
+        );
         ObjectRef((granule << GRANULE_LOG2) as u32)
     }
 
@@ -184,5 +203,18 @@ mod tests {
     #[cfg(debug_assertions)]
     fn unaligned_ref_panics() {
         let _ = ObjectRef::from_raw(7);
+    }
+
+    #[test]
+    fn max_granule_still_fits_u32() {
+        let r = ObjectRef::from_granule(MAX_HEAP_GRANULES - 1);
+        assert_eq!(r.granule(), MAX_HEAP_GRANULES - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the u32 offset space")]
+    #[cfg(all(debug_assertions, target_pointer_width = "64"))]
+    fn overflowing_granule_panics() {
+        let _ = ObjectRef::from_granule(MAX_HEAP_GRANULES);
     }
 }

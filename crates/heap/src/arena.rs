@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-use crate::addr::{ObjectRef, GRANULE, WORD};
+use crate::addr::{ObjectRef, GRANULE, MAX_HEAP_GRANULES, WORD};
 use crate::layout::Header;
 
 /// The word-addressed heap memory.
@@ -26,10 +26,20 @@ impl Arena {
     ///
     /// # Panics
     ///
-    /// Panics if `initial_bytes > max_bytes` or `max_bytes` is zero.
+    /// Panics if `initial_bytes > max_bytes`, `max_bytes` is zero, or
+    /// `max_bytes` exceeds the `u32` object-offset address space
+    /// ([`MAX_HEAP_GRANULES`] granules) — beyond it, `ObjectRef` and
+    /// `Chunk` offsets would wrap silently.  Checked before the backing
+    /// memory is reserved so an oversized request fails fast.
     pub fn new(max_bytes: usize, initial_bytes: usize) -> Arena {
         assert!(max_bytes > 0, "arena must be non-empty");
         assert!(initial_bytes <= max_bytes, "initial exceeds maximum");
+        assert!(
+            max_bytes.div_ceil(GRANULE) <= MAX_HEAP_GRANULES,
+            "arena of {max_bytes} bytes exceeds the u32 object-offset space \
+             ({} bytes max)",
+            MAX_HEAP_GRANULES as u64 * GRANULE as u64,
+        );
         let bytes = max_bytes.div_ceil(GRANULE) * GRANULE;
         let n_words = bytes / WORD;
         let mut v = Vec::with_capacity(n_words);
@@ -221,5 +231,14 @@ mod tests {
     #[should_panic(expected = "initial exceeds maximum")]
     fn initial_larger_than_max_panics() {
         let _ = Arena::new(1024, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 object-offset space")]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_arena_rejected_before_reservation() {
+        // 8 GiB of granules cannot be addressed by u32 byte offsets; the
+        // assert fires before any backing memory is allocated.
+        let _ = Arena::new(1usize << 33, 1 << 20);
     }
 }

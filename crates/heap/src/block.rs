@@ -1,0 +1,205 @@
+//! The global block store: the arena carved into fixed-size block
+//! regions that allocation shards lease and return wholesale.
+//!
+//! The store is the *only* globally shared allocation structure in the
+//! sharded heap back-end (DESIGN.md §4.5).  Shards come here when their
+//! private pool cannot satisfy a request (leasing whole blocks) and when
+//! a freed run coalesces into whole blocks worth returning.  Everything
+//! finer-grained — chunk splitting, coalescing, LAB carving — happens in
+//! the owning shard, so the store's lock is touched roughly once per
+//! `BLOCK_GRANULES` of allocation instead of once per chunk.
+//!
+//! A per-block **owner map** records which shard each block is leased to
+//! (`0` = the store itself).  Frees are routed to the owning shard's
+//! pool by this map; the map only changes at lease/return time, and a
+//! block can only be returned when *all* of its granules sit in the
+//! owning shard's pool — so no concurrent free can be in flight for a
+//! block whose owner is changing (see `ShardedAlloc`).
+
+use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
+
+use crate::freelist::{Chunk, FreeLists};
+
+/// Granules per block region: 4 KiB blocks at the 16-byte granule — the
+/// store's lease/return unit and the granularity of shard ownership.
+pub const BLOCK_GRANULES: usize = 256;
+
+/// The global block store of the sharded heap back-end.
+#[derive(Debug)]
+pub struct BlockStore {
+    /// Returned whole-block runs.  Every chunk in this pool is
+    /// block-aligned and a block multiple; splits at block-multiple
+    /// `preferred` sizes preserve the invariant.
+    pool: FreeLists,
+    /// Next never-leased block (bump frontier, in block units).
+    frontier_block: AtomicUsize,
+    /// Per-block owner: `0` = the store (never leased, or returned),
+    /// otherwise `shard index + 1`.
+    owners: Box<[AtomicU16]>,
+}
+
+impl BlockStore {
+    /// A store covering `max_granules` of arena.
+    pub fn new(max_granules: usize) -> BlockStore {
+        let n_blocks = max_granules.div_ceil(BLOCK_GRANULES);
+        let mut owners = Vec::with_capacity(n_blocks);
+        owners.resize_with(n_blocks, || AtomicU16::new(0));
+        BlockStore {
+            pool: FreeLists::new(),
+            frontier_block: AtomicUsize::new(0),
+            owners: owners.into_boxed_slice(),
+        }
+    }
+
+    /// Leases at least `min_blocks` contiguous blocks (preferring up to
+    /// `pref_blocks`) to `shard`, from returned blocks or the block
+    /// frontier.  The returned chunk is block-aligned, a block multiple,
+    /// and in granule units; it may include block 0 (the caller reserves
+    /// granule 0 for null).  Returns `None` when no run of `min_blocks`
+    /// fits under `committed_blocks`.
+    pub fn lease(
+        &self,
+        shard: usize,
+        min_blocks: usize,
+        pref_blocks: usize,
+        committed_blocks: usize,
+    ) -> Option<Chunk> {
+        debug_assert!(min_blocks > 0 && pref_blocks >= min_blocks);
+        let min_g = (min_blocks * BLOCK_GRANULES) as u32;
+        let pref_g = (pref_blocks * BLOCK_GRANULES) as u32;
+        if let Some(c) = self.pool.alloc(min_g, pref_g) {
+            debug_assert_eq!(
+                c.start as usize % BLOCK_GRANULES,
+                0,
+                "unaligned store chunk"
+            );
+            debug_assert_eq!(c.len as usize % BLOCK_GRANULES, 0, "ragged store chunk");
+            self.set_owner_range(c, shard);
+            return Some(c);
+        }
+        loop {
+            let cur = self.frontier_block.load(Ordering::Acquire);
+            if cur + min_blocks > committed_blocks {
+                return None;
+            }
+            let take = pref_blocks.min(committed_blocks - cur).max(min_blocks);
+            if self
+                .frontier_block
+                .compare_exchange(cur, cur + take, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let c = Chunk::new(
+                    (cur * BLOCK_GRANULES) as u32,
+                    (take * BLOCK_GRANULES) as u32,
+                );
+                self.set_owner_range(c, shard);
+                return Some(c);
+            }
+        }
+    }
+
+    /// Returns whole blocks to the store.  `chunk` must be block-aligned,
+    /// a block multiple, and every granule in it free (it was extracted
+    /// from the owning shard's pool, which implies exactly that).
+    pub fn give_back(&self, chunk: Chunk) {
+        debug_assert_eq!(chunk.start as usize % BLOCK_GRANULES, 0, "unaligned return");
+        debug_assert_eq!(chunk.len as usize % BLOCK_GRANULES, 0, "ragged return");
+        self.clear_owner_range(chunk);
+        self.pool.insert(chunk);
+    }
+
+    /// The shard owning the block containing granule `g`, or `None` when
+    /// the block is held by the store (never leased, or returned).
+    #[inline]
+    pub fn owner_of_granule(&self, g: usize) -> Option<usize> {
+        match self.owners[g / BLOCK_GRANULES].load(Ordering::Acquire) {
+            0 => None,
+            s => Some(s as usize - 1),
+        }
+    }
+
+    /// First granule past the block frontier: the parse bound of the
+    /// sharded back-end (a monotonic high watermark in block units).
+    #[inline]
+    pub fn frontier_granule(&self) -> usize {
+        self.frontier_block.load(Ordering::Acquire) * BLOCK_GRANULES
+    }
+
+    /// Free granules currently held by the store's pool.
+    pub fn free_granules(&self) -> u64 {
+        self.pool.free_granules()
+    }
+
+    /// A copy of every chunk in the store's pool (diagnostics).
+    pub fn snapshot(&self) -> Vec<Chunk> {
+        self.pool.snapshot()
+    }
+
+    fn set_owner_range(&self, c: Chunk, shard: usize) {
+        let tag = (shard + 1) as u16;
+        for b in c.start as usize / BLOCK_GRANULES..c.end() as usize / BLOCK_GRANULES {
+            self.owners[b].store(tag, Ordering::Release);
+        }
+    }
+
+    fn clear_owner_range(&self, c: Chunk) {
+        for b in c.start as usize / BLOCK_GRANULES..c.end() as usize / BLOCK_GRANULES {
+            self.owners[b].store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: usize = BLOCK_GRANULES;
+
+    #[test]
+    fn frontier_lease_bumps_and_tracks_owner() {
+        let s = BlockStore::new(16 * B);
+        let c = s.lease(2, 1, 4, 16).unwrap();
+        assert_eq!(c.start, 0);
+        assert_eq!(c.len as usize, 4 * B);
+        assert_eq!(s.frontier_granule(), 4 * B);
+        for g in [0, B, 2 * B, 4 * B - 1] {
+            assert_eq!(s.owner_of_granule(g), Some(2));
+        }
+        assert_eq!(s.owner_of_granule(4 * B), None);
+    }
+
+    #[test]
+    fn lease_respects_committed_limit() {
+        let s = BlockStore::new(16 * B);
+        assert!(s.lease(0, 4, 4, 3).is_none());
+        let c = s.lease(0, 2, 8, 3).unwrap();
+        assert_eq!(c.len as usize, 3 * B, "degrades to what fits");
+        assert!(s.lease(0, 1, 1, 3).is_none());
+    }
+
+    #[test]
+    fn returned_blocks_are_re_leased_before_frontier() {
+        let s = BlockStore::new(16 * B);
+        let c = s.lease(0, 2, 2, 16).unwrap();
+        s.give_back(c);
+        assert_eq!(s.owner_of_granule(c.start as usize), None);
+        assert_eq!(s.free_granules(), 2 * B as u64);
+        let again = s.lease(1, 2, 2, 16).unwrap();
+        assert_eq!(again.start, c.start, "pool preferred over frontier");
+        assert_eq!(s.owner_of_granule(again.start as usize), Some(1));
+        assert_eq!(s.free_granules(), 0);
+    }
+
+    #[test]
+    fn pool_splits_stay_block_aligned() {
+        let s = BlockStore::new(32 * B);
+        let big = s.lease(0, 8, 8, 32).unwrap();
+        s.give_back(big);
+        let small = s.lease(1, 2, 2, 32).unwrap();
+        assert_eq!(small.len as usize, 2 * B);
+        assert_eq!(small.start as usize % B, 0);
+        let rest = s.lease(1, 6, 6, 32).unwrap();
+        assert_eq!(rest.len as usize, 6 * B);
+        assert_eq!(rest.start as usize % B, 0);
+    }
+}

@@ -74,7 +74,8 @@ impl Pool {
     }
 
     /// Inserts with immediate coalescing against both neighbors.
-    fn insert_coalescing(&mut self, chunk: Chunk) {
+    /// Returns the merged run the chunk ended up part of.
+    fn insert_coalescing(&mut self, chunk: Chunk) -> Chunk {
         let mut start = chunk.start;
         let mut len = chunk.len;
         // Predecessor: the last chunk starting before us.
@@ -95,6 +96,7 @@ impl Pool {
             }
         }
         self.add(start, len);
+        Chunk::new(start, len)
     }
 }
 
@@ -132,6 +134,46 @@ impl FreeLists {
         let mut p = self.inner.lock();
         for &chunk in chunks {
             p.insert_coalescing(chunk);
+        }
+    }
+
+    /// Inserts many chunks under one lock acquisition, extracting
+    /// aligned whole-`block`-multiple sub-runs for the caller (the
+    /// sharded back-end's block-return path).  Whenever an insert
+    /// coalesces into a run whose block-aligned middle is at least
+    /// `min_extract` granules, that middle is removed from the pool and
+    /// appended to `extracted`; any ragged head/tail stays in the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or `min_extract < block` (an extracted
+    /// run is always at least one whole block).
+    pub fn insert_batch_extracting(
+        &self,
+        chunks: &[Chunk],
+        block: u32,
+        min_extract: u32,
+        extracted: &mut Vec<Chunk>,
+    ) {
+        assert!(block > 0 && min_extract >= block, "bad extraction params");
+        if chunks.is_empty() {
+            return;
+        }
+        let mut p = self.inner.lock();
+        for &chunk in chunks {
+            let merged = p.insert_coalescing(chunk);
+            let a = merged.start.div_ceil(block) * block;
+            let b = merged.end() / block * block;
+            if b > a && b - a >= min_extract {
+                p.remove(merged.start, merged.len);
+                if a > merged.start {
+                    p.add(merged.start, a - merged.start);
+                }
+                if merged.end() > b {
+                    p.add(b, merged.end() - b);
+                }
+                extracted.push(Chunk::new(a, b - a));
+            }
         }
     }
 
@@ -315,6 +357,41 @@ mod tests {
         f.insert_batch(&held);
         assert_eq!(f.chunk_count(), 1);
         assert_eq!(f.largest_chunk(), 1024);
+    }
+
+    #[test]
+    fn extraction_takes_aligned_middle_leaves_ragged_ends() {
+        let f = FreeLists::new();
+        let mut out = Vec::new();
+        // [10, 600): aligned middle at block 64 is [64, 576) = 512 ≥ 128.
+        f.insert_batch_extracting(&[Chunk::new(10, 590)], 64, 128, &mut out);
+        assert_eq!(out, vec![Chunk::new(64, 512)]);
+        assert_eq!(f.free_granules(), (64 - 10) + (600 - 576));
+        assert_eq!(f.chunk_count(), 2);
+    }
+
+    #[test]
+    fn extraction_below_threshold_stays_pooled() {
+        let f = FreeLists::new();
+        let mut out = Vec::new();
+        // Aligned middle [64, 128) is one block < the 2-block floor.
+        f.insert_batch_extracting(&[Chunk::new(10, 150)], 64, 128, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(f.free_granules(), 150);
+        assert_eq!(f.chunk_count(), 1);
+    }
+
+    #[test]
+    fn extraction_triggers_on_coalesced_runs() {
+        let f = FreeLists::new();
+        let mut out = Vec::new();
+        // Two halves of block 1, freed separately: only the insert that
+        // completes the block extracts it.
+        f.insert_batch_extracting(&[Chunk::new(64, 32)], 64, 64, &mut out);
+        assert!(out.is_empty());
+        f.insert_batch_extracting(&[Chunk::new(96, 32)], 64, 64, &mut out);
+        assert_eq!(out, vec![Chunk::new(64, 64)]);
+        assert_eq!(f.free_granules(), 0);
     }
 
     #[test]

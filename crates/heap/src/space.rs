@@ -19,6 +19,7 @@ use crate::arena::Arena;
 use crate::color::{Color, ColorTable};
 use crate::freelist::{Chunk, FreeLists};
 use crate::layout::{Header, ObjShape};
+use crate::shard::ShardedAlloc;
 
 /// Default LAB (local allocation buffer) size in granules (32 KB).
 pub const DEFAULT_LAB_GRANULES: u32 = 2048;
@@ -42,17 +43,34 @@ pub enum ParseStep {
     },
 }
 
+/// The chunk-allocation back-end behind [`HeapSpace`]: either the
+/// original single free list + bump frontier, or the sharded block-store
+/// arrangement (DESIGN.md §4.5).  The unsharded arm is the semantic
+/// oracle — the sharded arm must be observationally identical through
+/// the `HeapSpace` surface.
+#[derive(Debug)]
+enum Backend {
+    Unsharded {
+        freelists: FreeLists,
+        /// Next never-allocated granule (bump frontier).
+        frontier: AtomicUsize,
+    },
+    Sharded(ShardedAlloc),
+}
+
 /// The heap substrate shared by mutators and the collector.
 #[derive(Debug)]
 pub struct HeapSpace {
     arena: Arena,
     colors: ColorTable,
     ages: AgeTable,
-    freelists: FreeLists,
-    /// Next never-allocated granule (bump frontier).
-    frontier: AtomicUsize,
+    backend: Backend,
     /// Granules currently held by objects or leased LABs.
     used_granules: AtomicUsize,
+    /// Granules leased to LABs but not yet carved into objects (see
+    /// [`HeapSpace::note_lab_lease`]).  Subtracted from the trigger
+    /// policy's used figure so mostly-empty LABs don't read as pressure.
+    lab_leased: AtomicUsize,
     objects_allocated: AtomicU64,
     bytes_allocated: AtomicU64,
 }
@@ -62,17 +80,67 @@ impl HeapSpace {
     /// committed.  Granule 0 is reserved so that offset 0 can be the null
     /// reference.
     pub fn new(max_bytes: usize, initial_bytes: usize) -> HeapSpace {
+        HeapSpace::build(max_bytes, initial_bytes, 0)
+    }
+
+    /// Creates a heap whose allocator is sharded `shards` ways over a
+    /// global block store (see `crates/heap/src/shard.rs`).  `shards`
+    /// must be non-zero; `with_shards(m, i, 1)` is a single-shard heap
+    /// that still routes through the block store (the N=1 parity arm).
+    pub fn with_shards(max_bytes: usize, initial_bytes: usize, shards: usize) -> HeapSpace {
+        assert!(shards > 0, "shard count must be non-zero");
+        HeapSpace::build(max_bytes, initial_bytes, shards)
+    }
+
+    fn build(max_bytes: usize, initial_bytes: usize, shards: usize) -> HeapSpace {
         let arena = Arena::new(max_bytes, initial_bytes);
         let granules = arena.max_granules();
+        let backend = if shards == 0 {
+            Backend::Unsharded {
+                freelists: FreeLists::new(),
+                frontier: AtomicUsize::new(1), // granule 0 reserved for null
+            }
+        } else {
+            // The sharded store leases whole blocks; granule 0 is kept out
+            // of circulation by trimming it from block 0's first lease.
+            Backend::Sharded(ShardedAlloc::new(shards, granules))
+        };
         HeapSpace {
             colors: ColorTable::new(granules),
             ages: AgeTable::new(granules),
             arena,
-            freelists: FreeLists::new(),
-            frontier: AtomicUsize::new(1), // granule 0 reserved for null
+            backend,
             used_granules: AtomicUsize::new(1),
+            lab_leased: AtomicUsize::new(0),
             objects_allocated: AtomicU64::new(0),
             bytes_allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of allocation shards (1 for the unsharded back-end).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            Backend::Unsharded { .. } => 1,
+            Backend::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Free granules pooled in shard `i` (0 for the unsharded back-end,
+    /// which keeps everything in the global list).
+    pub fn shard_free_granules(&self, i: usize) -> u64 {
+        match &self.backend {
+            Backend::Unsharded { .. } => 0,
+            Backend::Sharded(s) => s.shard_free_granules(i),
+        }
+    }
+
+    /// Free granules held by the global block store (unsharded: the
+    /// single free list, so the split-out accessors still sum to
+    /// [`free_list_granules`](HeapSpace::free_list_granules)).
+    pub fn store_free_granules(&self) -> u64 {
+        match &self.backend {
+            Backend::Unsharded { freelists, .. } => freelists.free_granules(),
+            Backend::Sharded(s) => s.store_free_granules(),
         }
     }
 
@@ -138,10 +206,15 @@ impl HeapSpace {
     }
 
     /// The first granule the bump frontier has not yet passed.  A linear
-    /// heap parse needs to cover `[1, frontier_granule())`.
+    /// heap parse needs to cover `[1, frontier_granule())`.  In the
+    /// sharded back-end this is the block frontier — a block-granular
+    /// high watermark with the same monotonicity guarantee.
     #[inline]
     pub fn frontier_granule(&self) -> usize {
-        self.frontier.load(Ordering::Acquire)
+        match &self.backend {
+            Backend::Unsharded { frontier, .. } => frontier.load(Ordering::Acquire),
+            Backend::Sharded(s) => s.frontier_granule(),
+        }
     }
 
     /// Total objects ever allocated.
@@ -157,31 +230,62 @@ impl HeapSpace {
     }
 
     /// Allocates a chunk of at least `min` granules (preferring up to
-    /// `preferred`), from the free lists or the frontier.  Returns `None`
-    /// when the committed region is exhausted — the caller then grows the
-    /// heap or triggers a collection.
-    pub fn alloc_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
+    /// `preferred`) on behalf of `shard` (ignored by the unsharded
+    /// back-end; reduced modulo the shard count otherwise).  Returns
+    /// `None` when the committed region is exhausted — the caller then
+    /// grows the heap or triggers a collection.
+    pub fn alloc_chunk_on(&self, shard: usize, min: u32, preferred: u32) -> Option<Chunk> {
         // Chaos harness hook: a failing injection simulates heap pressure
         // (the committed region "is" exhausted), driving the caller into
         // its collection-or-grow slow path on a deterministic schedule.
+        // Kept ahead of the back-end dispatch so a fault models the whole
+        // heap running dry, not one shard missing its pool.
         if otf_support::fault::point("heap.alloc_chunk") {
             return None;
         }
-        if let Some(c) = self.freelists.alloc(min, preferred) {
-            self.used_granules
-                .fetch_add(c.len as usize, Ordering::Relaxed);
+        let chunk = match &self.backend {
+            Backend::Unsharded {
+                freelists,
+                frontier,
+            } => Self::alloc_unsharded(freelists, frontier, &self.arena, min, preferred),
+            Backend::Sharded(s) => s.alloc(
+                shard % s.shard_count(),
+                min,
+                preferred,
+                self.arena.committed_granules(),
+            ),
+        }?;
+        self.used_granules
+            .fetch_add(chunk.len as usize, Ordering::Relaxed);
+        Some(chunk)
+    }
+
+    /// [`alloc_chunk_on`](HeapSpace::alloc_chunk_on) for shard-oblivious
+    /// callers (the collector, tests): allocates on shard 0.
+    pub fn alloc_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
+        self.alloc_chunk_on(0, min, preferred)
+    }
+
+    /// The original single-list allocation path: free-list best-fit, then
+    /// bump the frontier inside the committed region.
+    fn alloc_unsharded(
+        freelists: &FreeLists,
+        frontier: &AtomicUsize,
+        arena: &Arena,
+        min: u32,
+        preferred: u32,
+    ) -> Option<Chunk> {
+        if let Some(c) = freelists.alloc(min, preferred) {
             return Some(c);
         }
-        // Bump the frontier inside the committed region.
         loop {
-            let cur = self.frontier.load(Ordering::Acquire);
-            let committed = self.arena.committed_granules();
+            let cur = frontier.load(Ordering::Acquire);
+            let committed = arena.committed_granules();
             if cur + min as usize > committed {
                 return None;
             }
             let take = (preferred as usize).min(committed - cur).max(min as usize) as u32;
-            if self
-                .frontier
+            if frontier
                 .compare_exchange(
                     cur,
                     cur + take as usize,
@@ -190,8 +294,9 @@ impl HeapSpace {
                 )
                 .is_ok()
             {
-                self.used_granules
-                    .fetch_add(take as usize, Ordering::Relaxed);
+                // Arena::new bounds the heap to the u32 offset space, so
+                // the frontier can never pass it.
+                debug_assert!(cur <= u32::MAX as usize, "frontier beyond u32 offsets");
                 return Some(Chunk::new(cur as u32, take));
             }
         }
@@ -204,24 +309,89 @@ impl HeapSpace {
         debug_assert!(chunk.len > 0);
         self.used_granules
             .fetch_sub(chunk.len as usize, Ordering::Relaxed);
-        self.freelists.insert(chunk);
+        match &self.backend {
+            Backend::Unsharded { freelists, .. } => freelists.insert(chunk),
+            Backend::Sharded(s) => s.free(chunk),
+        }
     }
 
-    /// Returns many chunks to the free lists under one lock acquisition.
+    /// Returns many chunks to the free lists — one lock acquisition per
+    /// touched shard (exactly one on the unsharded back-end).  Empty
+    /// batches return without touching any lock, so sweep workers whose
+    /// segment reclaimed nothing don't contend.
     pub fn free_chunk_batch(&self, chunks: &[Chunk]) {
+        if chunks.is_empty() {
+            return;
+        }
+        // Batch invariants asserted once here, not per chunk downstream.
+        debug_assert!(
+            chunks.iter().all(|c| c.len > 0),
+            "zero-length chunk in batch"
+        );
         let total: usize = chunks.iter().map(|c| c.len as usize).sum();
         self.used_granules.fetch_sub(total, Ordering::Relaxed);
-        self.freelists.insert_batch(chunks);
+        match &self.backend {
+            Backend::Unsharded { freelists, .. } => freelists.insert_batch(chunks),
+            Backend::Sharded(s) => s.free_batch(chunks),
+        }
     }
 
-    /// Free granules currently on the free lists.
+    /// Free granules currently on the free lists (all shards plus the
+    /// block store).
     pub fn free_list_granules(&self) -> u64 {
-        self.freelists.free_granules()
+        match &self.backend {
+            Backend::Unsharded { freelists, .. } => freelists.free_granules(),
+            Backend::Sharded(s) => s.free_granules(),
+        }
     }
 
-    /// A copy of every free chunk (diagnostics / heap verification).
+    /// A copy of every free chunk (diagnostics / heap verification),
+    /// sorted by start granule.
     pub fn free_list_snapshot(&self) -> Vec<Chunk> {
-        self.freelists.snapshot()
+        match &self.backend {
+            Backend::Unsharded { freelists, .. } => freelists.snapshot(),
+            Backend::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    /// Records `granules` leased into a mutator LAB (bumped at chunk
+    /// grant time by the caller).  The leased-unused figure is the
+    /// correction term for the collection-trigger policy: `used_granules`
+    /// counts whole LABs as used the moment they are granted, so without
+    /// it many mostly-empty LABs read as heap pressure and fire premature
+    /// full collections.
+    #[inline]
+    pub fn note_lab_lease(&self, granules: u32) {
+        self.lab_leased
+            .fetch_add(granules as usize, Ordering::Relaxed);
+    }
+
+    /// Records `granules` carved out of a LAB into an object (no longer
+    /// leased-unused).
+    #[inline]
+    pub fn note_lab_carve(&self, granules: u32) {
+        self.lab_leased
+            .fetch_sub(granules as usize, Ordering::Relaxed);
+    }
+
+    /// Records `granules` of LAB remainder retired back to the free
+    /// lists (freed without ever holding an object).
+    #[inline]
+    pub fn note_lab_retire(&self, granules: u32) {
+        self.lab_leased
+            .fetch_sub(granules as usize, Ordering::Relaxed);
+    }
+
+    /// Granules currently leased to LABs but not yet carved into objects.
+    #[inline]
+    pub fn lab_leased_granules(&self) -> usize {
+        self.lab_leased.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently leased to LABs but not yet carved into objects.
+    #[inline]
+    pub fn lab_leased_bytes(&self) -> usize {
+        self.lab_leased_granules() * GRANULE
     }
 
     /// Writes a new object of `shape` at `start` (granule index) inside
@@ -483,6 +653,89 @@ mod tests {
         let mut seen = Vec::new();
         h.for_each_object_start(3, 5, |o, _, _| seen.push(o));
         assert_eq!(seen, vec![objs[1]]);
+    }
+
+    #[test]
+    fn sharded_first_alloc_skips_null_granule() {
+        let h = HeapSpace::with_shards(1 << 16, 1 << 16, 4);
+        let c = h.alloc_chunk_on(0, 4, 4).unwrap();
+        assert_eq!(c.start, 1, "block 0's lease is trimmed past null");
+        assert_eq!(c.len, 4);
+    }
+
+    #[test]
+    fn sharded_n1_parity_with_unsharded() {
+        // The N=1 sharded arm must hand out the same chunks as the
+        // unsharded oracle for a serial in-block sequence.
+        let a = HeapSpace::new(1 << 16, 1 << 16);
+        let b = HeapSpace::with_shards(1 << 16, 1 << 16, 1);
+        for (min, pref) in [(4, 4), (2, 8), (1, 1), (16, 16)] {
+            let ca = a.alloc_chunk(min, pref).unwrap();
+            let cb = b.alloc_chunk(min, pref).unwrap();
+            assert_eq!(ca, cb, "alloc({min},{pref}) diverged");
+            assert_eq!(a.used_granules(), b.used_granules());
+        }
+        let ca = a.alloc_chunk(4, 4).unwrap();
+        let cb = b.alloc_chunk(4, 4).unwrap();
+        a.free_chunk(ca);
+        b.free_chunk(cb);
+        assert_eq!(a.used_granules(), b.used_granules());
+        assert_eq!(a.alloc_chunk(4, 4), b.alloc_chunk(4, 4), "freed run reused");
+    }
+
+    #[test]
+    fn sharded_exhaustion_returns_none() {
+        let h = HeapSpace::with_shards(1 << 12, 1 << 12, 2); // one block
+        assert!(h.alloc_chunk_on(0, 255, 255).is_some());
+        assert!(h.alloc_chunk_on(1, 16, 16).is_none());
+    }
+
+    #[test]
+    fn sharded_committed_limits_frontier_until_grow() {
+        let h = HeapSpace::with_shards(1 << 13, 1 << 12, 2);
+        assert!(h.alloc_chunk_on(0, 255, 255).is_some());
+        assert!(h.alloc_chunk_on(1, 16, 16).is_none());
+        assert!(h.grow().is_some());
+        assert!(h.alloc_chunk_on(1, 16, 16).is_some());
+    }
+
+    #[test]
+    fn sharded_used_accounting_and_free_routing() {
+        let h = HeapSpace::with_shards(1 << 16, 1 << 16, 2);
+        let before = h.used_granules();
+        let c = h.alloc_chunk_on(1, 8, 8).unwrap();
+        assert_eq!(h.used_granules(), before + 8);
+        h.free_chunk(c);
+        assert_eq!(h.used_granules(), before);
+        assert!(h.shard_free_granules(1) >= 8, "free routed to owner");
+        let total: u64 = (0..h.shard_count())
+            .map(|i| h.shard_free_granules(i))
+            .sum::<u64>()
+            + h.store_free_granules();
+        assert_eq!(total, h.free_list_granules());
+    }
+
+    #[test]
+    fn lab_lease_accounting() {
+        let h = small_heap();
+        assert_eq!(h.lab_leased_granules(), 0);
+        h.note_lab_lease(100);
+        assert_eq!(h.lab_leased_granules(), 100);
+        h.note_lab_carve(30);
+        h.note_lab_carve(20);
+        assert_eq!(h.lab_leased_granules(), 50);
+        h.note_lab_retire(50);
+        assert_eq!(h.lab_leased_granules(), 0);
+        assert_eq!(h.lab_leased_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let h = small_heap();
+        let before = h.used_granules();
+        h.free_chunk_batch(&[]);
+        assert_eq!(h.used_granules(), before);
+        assert_eq!(h.free_list_granules(), 0);
     }
 
     #[test]

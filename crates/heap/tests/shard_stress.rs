@@ -1,0 +1,186 @@
+//! Concurrency stress and property tests for the sharded heap back-end:
+//! 16 threads churning `alloc_chunk_on`/`free_chunk` across shards, with
+//! free-granule conservation and free-list/shard-balance invariants
+//! checked throughout (DESIGN.md §4.5).
+
+use std::sync::Arc;
+
+use otf_heap::{Chunk, HeapSpace, BLOCK_GRANULES};
+use otf_support::check::run_cases;
+
+/// Asserts the free-list snapshot is sorted, non-overlapping, and sums
+/// to `free_list_granules()`.
+fn assert_snapshot_coherent(h: &HeapSpace) {
+    let snap = h.free_list_snapshot();
+    let mut total = 0u64;
+    for w in snap.windows(2) {
+        assert!(
+            w[0].end() <= w[1].start,
+            "overlapping free chunks {:?} and {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    for c in &snap {
+        assert!(c.len > 0, "zero-length pooled chunk");
+        total += c.len as u64;
+    }
+    assert_eq!(total, h.free_list_granules(), "snapshot/total mismatch");
+}
+
+/// Asserts per-shard free totals plus the store sum to the global
+/// figure — the shard-balance property the stats plumbing relies on.
+fn assert_shard_balance(h: &HeapSpace) {
+    let shards: u64 = (0..h.shard_count()).map(|i| h.shard_free_granules(i)).sum();
+    assert_eq!(
+        shards + h.store_free_granules(),
+        h.free_list_granules(),
+        "shard totals do not sum to the global free-list figure"
+    );
+}
+
+/// 16 threads, each pinned to a shard, alloc/free churn with a final
+/// conservation check: every granule handed out comes back, the pools
+/// never overlap, and used accounting balances to the reserved null
+/// granule.
+#[test]
+fn sixteen_thread_alloc_free_churn_conserves_granules() {
+    const THREADS: usize = 16;
+    const STEPS: usize = 4000;
+    let h = Arc::new(HeapSpace::with_shards(8 << 20, 8 << 20, 8));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // Deterministic per-thread LCG; no external RNG crates.
+                let mut state = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut step = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as usize
+                };
+                let mut held: Vec<Chunk> = Vec::new();
+                for _ in 0..STEPS {
+                    let r = step();
+                    if r % 3 < 2 || held.is_empty() {
+                        let min = (r % 64 + 1) as u32;
+                        let preferred = min + (step() % 256) as u32;
+                        if let Some(c) = h.alloc_chunk_on(t, min, preferred) {
+                            assert!(c.len >= min, "short chunk {c:?} for min {min}");
+                            assert!(c.start > 0, "null granule handed out");
+                            held.push(c);
+                        } else {
+                            // Heap pressure: free everything and retry.
+                            for c in held.drain(..) {
+                                h.free_chunk(c);
+                            }
+                        }
+                    } else {
+                        let idx = step() % held.len();
+                        h.free_chunk(held.swap_remove(idx));
+                    }
+                }
+                // Free the tail so conservation can balance below.
+                for c in held {
+                    h.free_chunk(c);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+
+    // Everything was freed: used is back to the reserved null granule...
+    assert_eq!(h.used_granules(), 1, "granules leaked or double-freed");
+    // ...and free pools + the never-leased frontier tail cover the rest.
+    let committed = h.arena().committed_granules() as u64;
+    let never_leased = (committed as usize - h.frontier_granule()) as u64;
+    assert_eq!(
+        h.free_list_granules() + never_leased,
+        committed - 1,
+        "free-granule conservation violated"
+    );
+    assert_snapshot_coherent(&h);
+    assert_shard_balance(&h);
+}
+
+/// Mixed single-chunk and batch frees from concurrent threads, spanning
+/// block-ownership boundaries, keep the pools coherent.
+#[test]
+fn concurrent_batch_frees_route_and_balance() {
+    const THREADS: usize = 8;
+    let h = Arc::new(HeapSpace::with_shards(4 << 20, 4 << 20, 4));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for round in 0..200 {
+                    // Grab several chunks (often whole blocks so frees
+                    // cross back to the store), then return them as one
+                    // batch — the sweep-worker flush shape.
+                    let n = BLOCK_GRANULES as u32;
+                    let mut batch = Vec::new();
+                    for _ in 0..4 {
+                        match h.alloc_chunk_on(t, n / 2, n) {
+                            Some(c) => batch.push(c),
+                            None => break,
+                        }
+                    }
+                    if round % 2 == 0 {
+                        h.free_chunk_batch(&batch);
+                    } else {
+                        for c in batch {
+                            h.free_chunk(c);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    assert_eq!(h.used_granules(), 1);
+    assert_snapshot_coherent(&h);
+    assert_shard_balance(&h);
+}
+
+/// Property: after any serial alloc/free interleaving, shard-local free
+/// totals sum to the global `free_list_granules()`, and conservation
+/// holds against the frontier.
+#[test]
+fn shard_totals_always_sum_to_global() {
+    run_cases("shard_totals_sum", 0x5AAD, 64, |g| {
+        let shards = g.usize_in(1..9);
+        let h = HeapSpace::with_shards(1 << 20, 1 << 20, shards);
+        let mut held: Vec<Chunk> = Vec::new();
+        let steps = g.usize_in(1..200);
+        for _ in 0..steps {
+            if g.bool() || held.is_empty() {
+                let min = g.u32_in(1..512);
+                let preferred = min + g.u32_in(0..512);
+                let shard = g.usize_in(0..shards);
+                if let Some(c) = h.alloc_chunk_on(shard, min, preferred) {
+                    held.push(c);
+                }
+            } else {
+                let idx = g.usize_in(0..held.len());
+                h.free_chunk(held.swap_remove(idx));
+            }
+            assert_shard_balance(&h);
+        }
+        for c in held {
+            h.free_chunk(c);
+        }
+        assert_shard_balance(&h);
+        assert_snapshot_coherent(&h);
+        let committed = h.arena().committed_granules() as u64;
+        let never_leased = (committed as usize - h.frontier_granule()) as u64;
+        assert_eq!(h.free_list_granules() + never_leased, committed - 1);
+        assert_eq!(h.used_granules(), 1);
+    });
+}

@@ -129,6 +129,53 @@ fn churn_block_marking() {
 }
 
 #[test]
+fn churn_sharded_allocator() {
+    churn_under_config(GcConfig::generational().with_alloc_shards(4));
+}
+
+#[test]
+fn churn_sharded_single_shard_parity_arm() {
+    // N=1 sharding: same code path as N>1 but serial — the parity arm
+    // against the unsharded oracle above.
+    churn_under_config(GcConfig::generational().with_alloc_shards(1));
+}
+
+#[test]
+fn sharded_multithreaded_churn_leaves_heap_verifiable() {
+    let mut gc = Gc::new(small(GcConfig::generational().with_alloc_shards(8)));
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let mut m = gc.mutator();
+            s.spawn(move || {
+                let keeper = build_list(&mut m, 200, t * 1_000_000);
+                m.root_push(keeper);
+                for round in 0..100u64 {
+                    let seed = t * 1_000_000 + round * 997;
+                    let head = build_list(&mut m, 50, seed);
+                    check_list(&m, head, 50, seed);
+                    m.cooperate();
+                }
+                check_list(&m, keeper, 200, t * 1_000_000);
+            });
+        }
+    });
+    gc.collect_full_blocking();
+    gc.stop_collector();
+    let violations = gc.verify_heap();
+    assert!(violations.is_empty(), "heap violations: {violations:?}");
+    let stats = gc.stats();
+    assert_eq!(stats.alloc_shards, 8);
+    let shard_total: u64 = stats.shard_free_granules.iter().sum();
+    // The stats snapshot's split free totals must balance (quiescent, so
+    // no in-flight transfers between shard pools and the store).
+    assert_eq!(
+        shard_total + stats.store_free_granules,
+        gc.free_granules(),
+        "stats shard totals do not balance"
+    );
+}
+
+#[test]
 fn multithreaded_churn_all_variants() {
     for cfg in [
         GcConfig::generational(),
