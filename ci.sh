@@ -49,6 +49,19 @@ grep -q '"bench": "scale"' target/BENCH_scale_ci.json
 grep -q '"n1_parity": true' target/BENCH_scale_ci.json
 grep -q '"alloc_stall_ok": true' target/BENCH_scale_ci.json
 
+# Smoke-run the lazy-sweep benchmark (mutators sweep-to-allocate,
+# collector goes mark-only).  The binary exits non-zero on any heap
+# violation across the workload × config × sweep-mode matrix or if a
+# gate fails; the greps pin the verdicts: db/gen cycle-time reduction,
+# end-state parity between sweep modes, and the allocation-stall
+# p99.99 envelope.
+OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_lazy_ci.json \
+    ./target/release/bench_lazy --quick
+grep -q '"bench": "lazy"' target/BENCH_lazy_ci.json
+grep -q '"cycle_gate_ok": true' target/BENCH_lazy_ci.json
+grep -q '"parity_ok": true' target/BENCH_lazy_ci.json
+grep -q '"stall_ok": true' target/BENCH_lazy_ci.json
+
 # The full integration suites again with four GC workers: every
 # collector-driven test (correctness, chaos, observability) must hold
 # under the parallel back-end, not just the serial default.
@@ -57,6 +70,13 @@ OTF_GC_THREADS=4 cargo test -q --offline --test chaos --test gc_correctness
 # And again with the sharded heap back-end: the GC protocol must be
 # oblivious to the allocator substrate.
 OTF_GC_SHARDS=4 cargo test -q --offline --test chaos --test gc_correctness
+
+# And with the lazy sweep forced on: the chaos and correctness suites
+# must hold when every configuration sweeps at allocation time, both
+# alone and combined with the sharded heap and parallel mark.
+OTF_GC_LAZY_SWEEP=1 cargo test -q --offline --test chaos --test gc_correctness
+OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
+    cargo test -q --offline --test chaos --test gc_correctness
 
 # Chaos smoke: the fixed-seed fault-injection matrix (debug build — the
 # debug_asserts on the hardened failure paths must hold too).  The binary

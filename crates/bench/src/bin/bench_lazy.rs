@@ -1,0 +1,358 @@
+//! Lazy allocation-time sweep benchmark: collector cycle time and
+//! mutator allocation latency, eager vs lazy sweep back-end.
+//!
+//! Runs db, mtrt and compress under the generational and
+//! non-generational collectors in both sweep modes (`GcConfig::
+//! lazy_sweep`), verifying the heap after every run.  In lazy mode the
+//! collector's cycle ends at mark termination (fence + epoch publish)
+//! and mutators sweep-to-allocate on the LAB-refill path, so the
+//! headline figure is the collector cycle-time reduction; the cost side
+//! is watched through the allocation-stall and LAB-refill histograms.
+//!
+//! Three gates:
+//!
+//! * **cycle-time reduction** — mean cycle time of db under the
+//!   generational collector must drop by at least 30% in lazy mode (the
+//!   sweep phase is gone from the cycle; only mark remains).
+//! * **end-state parity** — for every workload × config cell, the
+//!   surviving live set after shutdown (all LABs retired, the final
+//!   epoch finalized) must match the eager run of the same seed within
+//!   1%: deferring the sweep must never change what survives.
+//! * **alloc-stall envelope** — p99.99 allocation stall in lazy mode
+//!   stays within 10x + 20 ms of the eager value for the same cell
+//!   (the same catch-an-order-of-magnitude slack the parallel harness
+//!   uses, since a quick-mode p99.99 is a single worst sample on an
+//!   oversubscribed container).
+//!
+//! Emits `BENCH_lazy.json` (override with `OTF_BENCH_OUT`); exits
+//! non-zero on heap violations or a gate failure.  Accepts the standard
+//! figure-harness flags (`--scale`, `--reps`, `--seed`, `--quick`).
+
+use std::time::Duration;
+
+use otf_bench::measure::Options;
+use otf_bench::table::Table;
+use otf_gc::GcConfig;
+use otf_support::hist::Snapshot;
+use otf_workloads::driver;
+use otf_workloads::{Compress, Db, RayTracer, Workload};
+
+/// Merged measurement of one workload × config × sweep-mode cell.
+struct LazyResult {
+    workload: &'static str,
+    config: &'static str,
+    lazy: bool,
+    /// Median elapsed wall time across reps.
+    elapsed: Duration,
+    /// Total cycles across reps.
+    cycles: usize,
+    /// Mean cycle duration across every cycle of every rep, in ms.
+    cycle_avg_ms: f64,
+    pause: Snapshot,
+    alloc_stall: Snapshot,
+    lab_refill: Snapshot,
+    /// Post-shutdown live-set bytes, one entry per rep (reps use
+    /// distinct seeds, so parity is checked rep-by-rep).
+    used_final: Vec<usize>,
+    lazy_freed_at_alloc: u64,
+    lazy_freed_at_final: u64,
+    lazy_epochs: u64,
+    violations: usize,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn sweep_name(lazy: bool) -> &'static str {
+    if lazy {
+        "lazy"
+    } else {
+        "eager"
+    }
+}
+
+fn run_case(
+    workload: &'static str,
+    w: &dyn Workload,
+    cfg: GcConfig,
+    config: &'static str,
+    lazy: bool,
+    o: &Options,
+) -> LazyResult {
+    let mut pause = Snapshot::default();
+    let mut alloc_stall = Snapshot::default();
+    let mut lab_refill = Snapshot::default();
+    let mut cycles = 0usize;
+    let mut cycle_ns = 0u128;
+    let mut used_final = Vec::new();
+    let mut freed_alloc = 0u64;
+    let mut freed_final = 0u64;
+    let mut epochs = 0u64;
+    let mut violations = 0usize;
+    let mut elapses = Vec::new();
+    for rep in 0..o.reps.max(1) {
+        let (r, v) =
+            driver::run_workload_verified(w, cfg.with_lazy_sweep(lazy), o.seed + rep as u64);
+        pause.merge(&r.stats.pause);
+        alloc_stall.merge(&r.stats.alloc_stall);
+        lab_refill.merge(&r.stats.lab_refill);
+        cycles += r.stats.cycles.len();
+        cycle_ns += r
+            .stats
+            .cycles
+            .iter()
+            .map(|c| c.duration.as_nanos())
+            .sum::<u128>();
+        used_final.push(r.stats.used_bytes);
+        freed_alloc += r.stats.lazy_freed_at_alloc_granules;
+        freed_final += r.stats.lazy_freed_at_final_granules;
+        epochs += r.stats.lazy_epochs;
+        violations += v.len();
+        elapses.push(r.elapsed);
+    }
+    elapses.sort_unstable();
+    LazyResult {
+        workload,
+        config,
+        lazy,
+        elapsed: elapses[elapses.len() / 2],
+        cycles,
+        cycle_avg_ms: if cycles == 0 {
+            0.0
+        } else {
+            cycle_ns as f64 / cycles as f64 / 1e6
+        },
+        pause,
+        alloc_stall,
+        lab_refill,
+        used_final,
+        lazy_freed_at_alloc: freed_alloc,
+        lazy_freed_at_final: freed_final,
+        lazy_epochs: epochs,
+        violations,
+    }
+}
+
+fn eager_peer<'a>(rows: &'a [LazyResult], r: &LazyResult) -> Option<&'a LazyResult> {
+    rows.iter()
+        .find(|b| !b.lazy && b.workload == r.workload && b.config == r.config)
+}
+
+/// Headline gate: mean cycle time of db/gen drops ≥ 30% in lazy mode.
+fn cycle_gate(rows: &[LazyResult]) -> (f64, bool) {
+    let eager = rows
+        .iter()
+        .find(|r| !r.lazy && r.workload == "db" && r.config == "gen");
+    let lazy = rows
+        .iter()
+        .find(|r| r.lazy && r.workload == "db" && r.config == "gen");
+    match (eager, lazy) {
+        (Some(e), Some(l)) if e.cycle_avg_ms > 0.0 && l.cycles > 0 => {
+            let reduction = 1.0 - l.cycle_avg_ms / e.cycle_avg_ms;
+            let ok = reduction >= 0.30;
+            if !ok {
+                eprintln!(
+                    "error: db/gen cycle avg {:.3} ms lazy vs {:.3} ms eager — \
+                     {:.1}% reduction, gate requires >= 30%",
+                    l.cycle_avg_ms,
+                    e.cycle_avg_ms,
+                    reduction * 100.0
+                );
+            }
+            (reduction, ok)
+        }
+        _ => {
+            eprintln!("error: db/gen recorded no cycles — cycle-time gate cannot run");
+            (0.0, false)
+        }
+    }
+}
+
+/// End-state parity: every lazy cell's post-shutdown live set matches
+/// its eager peer rep-by-rep within 1%.
+fn parity_ok(rows: &[LazyResult]) -> bool {
+    rows.iter().filter(|r| r.lazy).all(|r| {
+        let Some(e) = eager_peer(rows, r) else {
+            return false;
+        };
+        r.used_final.len() == e.used_final.len()
+            && r.used_final.iter().zip(&e.used_final).all(|(&l, &b)| {
+                let ok = (l as f64 - b as f64).abs() <= b as f64 * 0.01;
+                if !ok {
+                    eprintln!(
+                        "error: {}/{} end-state {l} bytes lazy vs {b} bytes eager — \
+                         deferred sweep changed the surviving live set",
+                        r.workload, r.config
+                    );
+                }
+                ok
+            })
+    })
+}
+
+/// p99.99 allocation stall in lazy mode stays within 10x + 20 ms of the
+/// eager peer.
+fn stall_ok(rows: &[LazyResult]) -> bool {
+    rows.iter().filter(|r| r.lazy).all(|r| {
+        let base = eager_peer(rows, r)
+            .map(|b| b.alloc_stall.quantile(0.9999))
+            .unwrap_or(0);
+        let bound = base.saturating_mul(10) + 20_000_000;
+        let ok = r.alloc_stall.quantile(0.9999) <= bound;
+        if !ok {
+            eprintln!(
+                "error: {}/{} lazy alloc-stall p99.99 {:.1} us vs eager {:.1} us — \
+                 envelope broken",
+                r.workload,
+                r.config,
+                us(r.alloc_stall.quantile(0.9999)),
+                us(base)
+            );
+        }
+        ok
+    })
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    rows: &[LazyResult],
+    reduction: f64,
+    cycle_ok: bool,
+    parity: bool,
+    stall: bool,
+    o: &Options,
+    path: &str,
+) {
+    let mut j = String::from("{\n  \"bench\": \"lazy\",\n");
+    j.push_str(&format!(
+        "  \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
+        o.scale, o.reps, o.seed
+    ));
+    j.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"sweep\": \"{}\", \
+             \"elapsed_ms\": {:.2}, \"cycles\": {}, \"cycle_avg_ms\": {:.3}, \
+             \"pause_p999_us\": {:.1}, \"alloc_stall_p9999_us\": {:.1}, \
+             \"lab_refill_p9999_us\": {:.1}, \"lazy_freed_at_alloc_granules\": {}, \
+             \"lazy_freed_at_final_granules\": {}, \"lazy_epochs\": {}, \
+             \"used_final\": {}, \"violations\": {}}}{}\n",
+            json_escape_free(r.workload),
+            json_escape_free(r.config),
+            sweep_name(r.lazy),
+            r.elapsed.as_secs_f64() * 1e3,
+            r.cycles,
+            r.cycle_avg_ms,
+            us(r.pause.quantile(0.999)),
+            us(r.alloc_stall.quantile(0.9999)),
+            us(r.lab_refill.quantile(0.9999)),
+            r.lazy_freed_at_alloc,
+            r.lazy_freed_at_final,
+            r.lazy_epochs,
+            r.used_final.last().copied().unwrap_or(0),
+            r.violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"cycle_reduction_db_gen\": {reduction:.3}, \"cycle_gate_ok\": {cycle_ok}, \
+         \"parity_ok\": {parity}, \"stall_ok\": {stall}\n}}\n"
+    ));
+    if let Err(e) = std::fs::write(path, &j) {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let o = Options::from_args();
+    let quick = std::env::var_os("OTF_BENCH_QUICK").is_some() || o.scale < 0.2;
+    let wl_scale = if quick { o.scale.min(0.1) } else { o.scale };
+
+    let workloads: [(&'static str, Box<dyn Workload>); 3] = [
+        ("db", Box::new(Db::new().scaled(wl_scale))),
+        ("mtrt", Box::new(RayTracer::mtrt().scaled(wl_scale))),
+        ("compress", Box::new(Compress::new().scaled(wl_scale))),
+    ];
+    let configs: [(&'static str, GcConfig); 2] = [
+        ("gen", GcConfig::generational()),
+        ("nogen", GcConfig::non_generational()),
+    ];
+
+    println!("== lazy allocation-time sweep: eager vs lazy back-end ==\n");
+    let mut rows = Vec::new();
+    for (name, w) in &workloads {
+        for &(cfg_name, cfg) in &configs {
+            for lazy in [false, true] {
+                let r = run_case(name, w.as_ref(), cfg, cfg_name, lazy, &o);
+                println!(
+                    "{name}/{cfg_name:<6} {:<5}  cycle avg {:>7.3} ms  stall p99.99 {:>9.1} us  \
+                     refill p99.99 {:>9.1} us  violations {}",
+                    sweep_name(lazy),
+                    r.cycle_avg_ms,
+                    us(r.alloc_stall.quantile(0.9999)),
+                    us(r.lab_refill.quantile(0.9999)),
+                    r.violations,
+                );
+                rows.push(r);
+            }
+        }
+    }
+
+    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+    let (reduction, cycle_ok) = cycle_gate(&rows);
+    let parity = parity_ok(&rows);
+    let stall = stall_ok(&rows);
+
+    let mut t = Table::new("lazy sweep: cycle time and allocation latency by sweep mode");
+    t.header([
+        "workload",
+        "config",
+        "sweep",
+        "cycle avg",
+        "stall p99.99",
+        "refill p99.99",
+        "freed@alloc",
+        "freed@final",
+        "cycles",
+    ]);
+    for r in &rows {
+        t.row([
+            r.workload.to_string(),
+            r.config.to_string(),
+            sweep_name(r.lazy).to_string(),
+            format!("{:.3} ms", r.cycle_avg_ms),
+            format!("{:.1}", us(r.alloc_stall.quantile(0.9999))),
+            format!("{:.1}", us(r.lab_refill.quantile(0.9999))),
+            r.lazy_freed_at_alloc.to_string(),
+            r.lazy_freed_at_final.to_string(),
+            r.cycles.to_string(),
+        ]);
+    }
+    println!();
+    t.print();
+    println!(
+        "\ndb/gen cycle-time reduction {:.1}% (gate: >= 30%)",
+        reduction * 100.0
+    );
+
+    let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_lazy.json".to_string());
+    write_json(&rows, reduction, cycle_ok, parity, stall, &o, &path);
+
+    if total_violations > 0 {
+        eprintln!("{total_violations} heap violation(s) across the matrix");
+        std::process::exit(1);
+    }
+    if !cycle_ok || !parity || !stall {
+        eprintln!("gate failure: cycle_gate_ok={cycle_ok} parity_ok={parity} stall_ok={stall}");
+        std::process::exit(1);
+    }
+}

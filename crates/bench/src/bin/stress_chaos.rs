@@ -1,9 +1,9 @@
 //! Chaos stress driver: seeded fault-injection schedules, run as a CI
 //! gate.
 //!
-//! Runs a matrix of *schedules* — (collector variant × fault plan) pairs
-//! — against the error-tolerant [`Chaos`] workload, each with a hard
-//! hang bound, and exits non-zero if any schedule
+//! Runs a matrix of *schedules* — (collector variant × sweep mode ×
+//! fault plan) cells — against the error-tolerant [`Chaos`] workload,
+//! each with a hard hang bound, and exits non-zero if any schedule
 //!
 //! * exceeds the hang bound (a liveness bug: the hardened failure paths
 //!   exist precisely so injected stalls and deaths cannot wedge the
@@ -59,6 +59,11 @@ fn storm_plan(seed: u64) -> FaultPlan {
         )
         .rule(FaultRule::at("mutator.barrier.window").yielding(0.1))
         .rule(FaultRule::at("mutator.lab.refill").delaying(0.1, 100))
+        .rule(
+            FaultRule::at("mutator.lazy_sweep.segment")
+                .delaying(0.2, 200)
+                .yielding(0.2),
+        )
         .rule(FaultRule::at("collector.phase").delaying(0.5, 500))
         .rule(FaultRule::at("collector.handshake.wait").yielding(0.3))
 }
@@ -73,6 +78,7 @@ fn failure_plan(seed: u64) -> FaultPlan {
                 .max_fires(40),
         )
         .rule(FaultRule::at("mutator.lab.refill").yielding(0.2))
+        .rule(FaultRule::at("mutator.lazy_sweep.segment").yielding(0.3))
         .rule(FaultRule::at("mutator.cooperate").yielding(0.1))
 }
 
@@ -266,26 +272,30 @@ fn main() {
     ];
     let mut outcomes = Vec::new();
     for cfg in variants {
-        for (plan_name, plan) in [
-            ("storm", storm_plan(seed)),
-            ("failures", failure_plan(seed ^ 0x9E37_79B9)),
-        ] {
-            let s = Schedule {
-                name: format!("{}/{}", mode_name(&cfg), plan_name),
-                config: cfg,
-                plan,
-            };
-            outcomes.push(run_schedule(s, threads, ops_scale, bound));
+        for lazy in [false, true] {
+            let cfg = cfg.with_lazy_sweep(lazy);
+            let sweep = if lazy { "lazy" } else { "eager" };
+            for (plan_name, plan) in [
+                ("storm", storm_plan(seed)),
+                ("failures", failure_plan(seed ^ 0x9E37_79B9)),
+            ] {
+                let s = Schedule {
+                    name: format!("{}/{}/{}", mode_name(&cfg), sweep, plan_name),
+                    config: cfg,
+                    plan,
+                };
+                outcomes.push(run_schedule(s, threads, ops_scale, bound));
+            }
         }
     }
 
     println!(
-        "\n{:<16} {:>10} {:>7} {:>10} {:>9}  ok",
+        "\n{:<22} {:>10} {:>7} {:>10} {:>9}  ok",
         "schedule", "injections", "cycles", "violations", "elapsed"
     );
     for o in &outcomes {
         println!(
-            "{:<16} {:>10} {:>7} {:>10} {:>8.2}s  {}",
+            "{:<22} {:>10} {:>7} {:>10} {:>8.2}s  {}",
             o.name,
             o.injections,
             o.cycles,

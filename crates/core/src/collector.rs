@@ -19,6 +19,22 @@ impl GcShared {
         let cycle_start = Instant::now();
         otf_support::fault::point("collector.phase");
         cx.reset();
+        // Lazy back-end: the previous sweep epoch must be fully drained
+        // *before* this cycle's color toggle — after the toggle the old
+        // epoch's clear color becomes the allocation color, and a
+        // straggling sweeper under stale params would free fresh objects
+        // (DESIGN.md §4.6).  The between-cycle drain usually emptied it
+        // already, so this is normally a no-op; its residual time is
+        // attributed to the sweep phase.  The epoch's counters are the
+        // deferred sweep results of the *previous* cycle; they fold into
+        // this cycle's stats (one cycle later than eager mode reports
+        // them).
+        if self.config.lazy_sweep {
+            let t = Instant::now();
+            self.lazy_finalize(crate::lazy::LazyWho::Collector);
+            cx.counters.merge(&self.lazy_take_counters());
+            cx.phases.sweep += t.elapsed();
+        }
         self.collecting
             .store(true, std::sync::atomic::Ordering::Release);
         self.obs.note_cycle_begin(kind);
@@ -126,8 +142,18 @@ impl GcShared {
         otf_support::fault::point("collector.phase");
         let t = Instant::now();
         self.obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
-        self.sweep(cx);
-        cx.phases.sweep = t.elapsed();
+        if self.config.lazy_sweep {
+            // Mark-only cycle: where the sweep used to run, order every
+            // trace-phase color store before the epoch becomes claimable,
+            // then publish the epoch.  Mutator LAB refills and the
+            // between-cycle drain do the actual reclamation.
+            std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+            self.lazy_publish(cx.counters.bytes_traced);
+            cx.phases.sweep += t.elapsed();
+        } else {
+            self.sweep(cx);
+            cx.phases.sweep = t.elapsed();
+        }
         self.obs
             .event(EventKind::PhaseEnd, phase::SWEEP, dur_ns(cx.phases.sweep));
 
@@ -181,6 +207,7 @@ impl GcShared {
             if kind == CycleKind::Partial
                 && self.control.bytes_since_cycle() < self.config.young_size as u64 / 2
             {
+                self.lazy_drain_between_cycles();
                 continue;
             }
             let stats = self.run_cycle(kind, &mut cx);
@@ -242,6 +269,10 @@ impl GcShared {
             // mutator that stopped allocating — or one still below its
             // next 64 KB batch — cannot starve a due collection.
             self.evaluate_triggers();
+            // Lazy back-end: reclaim leftover epoch segments between
+            // cycles so garbage is not stranded on an idle heap, yielding
+            // to fresh cycle requests segment-by-segment.
+            self.lazy_drain_between_cycles();
         }
     }
 }

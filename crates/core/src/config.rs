@@ -98,6 +98,17 @@ pub struct GcConfig {
     /// constructors read the `OTF_GC_SHARDS` environment variable as the
     /// default, mirroring `OTF_GC_THREADS`.
     pub alloc_shards: usize,
+    /// Opt-in lazy (allocation-time) sweep, Nofl/Immix-style (DESIGN.md
+    /// §4.6).  `false` (the default) keeps the eager serial/parallel
+    /// sweep byte-for-byte.  `true` turns the collector's cycle
+    /// mark-only: where the sweep phase used to run, the collector
+    /// finalizes the previous sweep epoch and publishes a new one; the
+    /// actual reclamation is done by mutators at LAB-refill time
+    /// (sweep-to-allocate) and by the collector draining leftover
+    /// segments between cycles.  The constructors read the
+    /// `OTF_GC_LAZY_SWEEP` environment variable (`1` enables) as the
+    /// default, mirroring `OTF_GC_THREADS`/`OTF_GC_SHARDS`.
+    pub lazy_sweep: bool,
 }
 
 /// Reads the `OTF_GC_THREADS` default for the constructors (falls back
@@ -129,6 +140,17 @@ fn alloc_shards_from_env() -> usize {
         .unwrap_or(0)
 }
 
+/// Reads the `OTF_GC_LAZY_SWEEP` default for the constructors (any
+/// nonzero integer enables; falls back to `false` — the eager sweep —
+/// when unset or invalid).
+fn lazy_sweep_from_env() -> bool {
+    std::env::var("OTF_GC_LAZY_SWEEP")
+        .ok()
+        .and_then(|v| v.trim().parse::<u8>().ok())
+        .map(|v| v != 0)
+        .unwrap_or(false)
+}
+
 impl GcConfig {
     /// The paper's best generational configuration: simple promotion,
     /// 4 MB young generation, 16-byte cards.
@@ -146,6 +168,7 @@ impl GcConfig {
             handshake_stall_ms: 1000,
             gc_threads: gc_threads_from_env(),
             alloc_shards: alloc_shards_from_env(),
+            lazy_sweep: lazy_sweep_from_env(),
         }
     }
 
@@ -231,6 +254,13 @@ impl GcConfig {
     /// see [`GcConfig::alloc_shards`]).
     pub fn with_alloc_shards(mut self, n: usize) -> GcConfig {
         self.alloc_shards = n;
+        self
+    }
+
+    /// Enables (or disables) the lazy allocation-time sweep (see
+    /// [`GcConfig::lazy_sweep`]).
+    pub fn with_lazy_sweep(mut self, enabled: bool) -> GcConfig {
+        self.lazy_sweep = enabled;
         self
     }
 

@@ -93,6 +93,14 @@ impl Control {
         }
     }
 
+    /// Non-blocking peek: is a cycle request pending?  Used by the
+    /// lazy-sweep background drain so between-cycle sweeping yields to
+    /// cycle requests segment-by-segment instead of delaying them.
+    pub(crate) fn has_request(&self) -> bool {
+        let p = self.pending.lock();
+        p.partial || p.full
+    }
+
     /// Collector thread: records a completed cycle and wakes waiters.
     pub(crate) fn note_cycle_done(&self, kind: CycleKind) {
         let mut d = self.done.lock();

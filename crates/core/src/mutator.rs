@@ -6,9 +6,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use otf_heap::{Header, Lab, ObjShape, ObjectRef};
+use otf_heap::{Chunk, Header, Lab, ObjShape, ObjectRef};
 
 use crate::config::{Mode, Promotion};
+use crate::lazy::LazyWho;
 use crate::obs::dur_ns;
 use crate::shared::GcShared;
 use crate::state::{MutatorShared, Status};
@@ -175,7 +176,19 @@ impl Mutator {
             return Ok(c.start as usize);
         }
         otf_support::fault::point("mutator.lab.refill");
-        let chunk = self.alloc_chunk_blocking(n, lab_granules)?;
+        // The refill latency histogram times the whole chunk acquisition
+        // in *both* sweep modes, so sweep work moved onto the allocation
+        // path in lazy mode is visible in p99.99 comparisons instead of
+        // hiding outside the stall histogram.
+        let refill_start = Instant::now();
+        let refilled = match self.lazy_refill_chunk(n, lab_granules) {
+            Some(c) => Ok(c),
+            None => self.alloc_chunk_blocking(n, lab_granules),
+        };
+        self.shared
+            .obs
+            .note_lab_refill(dur_ns(refill_start.elapsed()));
+        let chunk = refilled?;
         self.shared.heap.note_lab_lease(chunk.len);
         if let Some(rest) = self.lab.refill(chunk) {
             self.shared.heap.note_lab_retire(rest.len);
@@ -213,6 +226,23 @@ impl Mutator {
         }
     }
 
+    /// Lazy-sweep hook at LAB refill: sweep-to-allocate one epoch
+    /// segment (DESIGN.md §4.6).  A reclaimed run satisfying the request
+    /// is handed back directly without a round trip through the free
+    /// lists; its granules stay in `used` (dead objects became this
+    /// caller's space), the same balance the eager free-then-reallocate
+    /// sequence reaches.  `None` in eager mode, when the epoch is
+    /// drained, or when the swept segment yielded no suitable run (its
+    /// reclaimed chunks still went to the free lists).
+    fn lazy_refill_chunk(&self, min: u32, preferred: u32) -> Option<Chunk> {
+        if !self.shared.config.lazy_sweep {
+            return None;
+        }
+        self.shared
+            .lazy_sweep_segment(LazyWho::Mutator, Some((min, preferred)))
+            .flatten()
+    }
+
     /// Gets a chunk, blocking on a full collection (and growing the heap)
     /// when the committed region is exhausted.
     fn alloc_chunk_blocking(
@@ -223,6 +253,24 @@ impl Mutator {
         for _attempt in 0..8 {
             if let Some(c) = self.shared.heap.alloc_chunk_on(self.shard, min, preferred) {
                 return Ok(c);
+            }
+            // Lazy mode under pressure: drain outstanding sweep segments
+            // — the space this request needs may already be dead but
+            // unswept — before escalating to a blocking full collection.
+            if self.shared.config.lazy_sweep {
+                loop {
+                    match self
+                        .shared
+                        .lazy_sweep_segment(LazyWho::Mutator, Some((min, preferred)))
+                    {
+                        Some(Some(c)) => return Ok(c),
+                        Some(None) => continue,
+                        None => break,
+                    }
+                }
+                if let Some(c) = self.shared.heap.alloc_chunk_on(self.shard, min, preferred) {
+                    return Ok(c);
+                }
             }
             if self.shared.control.is_shutdown() || self.shared.control.is_poisoned() {
                 // No collector to help us (clean shutdown or poisoned by

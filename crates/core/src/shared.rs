@@ -11,6 +11,7 @@ use otf_support::sync::{Condvar, Mutex};
 
 use crate::config::GcConfig;
 use crate::control::Control;
+use crate::lazy::LazySweep;
 use crate::obs::Obs;
 use crate::state::{ColorState, MutatorShared, Status};
 use crate::stats::CycleStats;
@@ -45,6 +46,9 @@ pub(crate) struct GcShared {
     /// handshake.
     pub globals: Mutex<Vec<ObjectRef>>,
     pub control: Control,
+    /// Lazy (allocation-time) sweep epoch state — inert unless
+    /// `config.lazy_sweep` is set (DESIGN.md §4.6).
+    pub lazy: LazySweep,
     pub stats: Mutex<StatsInner>,
     /// Pause histograms and the GC event trace ring.
     pub obs: Obs,
@@ -88,6 +92,7 @@ impl GcShared {
             next_mutator_id: AtomicU64::new(1),
             globals: Mutex::new(Vec::new()),
             control: Control::new(),
+            lazy: LazySweep::default(),
             stats: Mutex::new(StatsInner::default()),
             obs: Obs::new(
                 config.trace_events || std::env::var_os("OTF_GC_TRACE").is_some(),
@@ -223,10 +228,16 @@ impl GcShared {
         // grant time, so subtract the leased-but-uncarved portion: with
         // many mutators (one LAB each) the raw figure reads mostly-empty
         // buffers as pressure and fires premature full collections.
+        // In lazy-sweep mode, granules the published epoch has not yet
+        // reclaimed still sit in `used_granules` even though they are
+        // dead: subtract the epoch's unswept-garbage estimate so the
+        // deferred sweep does not masquerade as occupancy and fire
+        // premature full collections (DESIGN.md §4.6).
         let used = self
             .heap
             .used_bytes()
-            .saturating_sub(self.heap.lab_leased_bytes()) as f64;
+            .saturating_sub(self.heap.lab_leased_bytes())
+            .saturating_sub(self.lazy.unswept_bytes() as usize) as f64;
         let committed = self.heap.committed_bytes() as f64;
         if used >= self.config.full_trigger_fraction * committed && since >= (64 << 10) {
             self.control.request_full();
@@ -629,6 +640,56 @@ mod tests {
         let c = sh.heap.alloc_chunk(granules, granules).unwrap();
         sh.heap.note_lab_lease(c.len);
         sh.heap.note_lab_carve(c.len); // all of it now holds objects
+        sh.control.add_allocated(128 << 10);
+        sh.evaluate_triggers();
+        assert_eq!(
+            sh.control.next_request(),
+            Some(crate::stats::CycleKind::Full)
+        );
+    }
+
+    #[test]
+    fn unswept_lazy_garbage_does_not_fire_full_trigger() {
+        // Regression (lazy-sweep analogue of the LAB-lease tests above):
+        // after a mark-only cycle the dead bytes are still counted in
+        // `used_granules` until a lazy segment reclaims them.  The
+        // unswept-garbage estimate published with the epoch must keep
+        // that deferred garbage from reading as heap pressure, or lazy
+        // mode would fire back-to-back full collections that the eager
+        // sweep never would.
+        let sh = GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_lazy_sweep(true),
+        );
+        let granules = (sh.heap.committed_bytes() * 4 / 5 / 16) as u32; // 80%
+        sh.heap.alloc_chunk(granules, granules).unwrap();
+        // Mark-only cycle ends having traced nothing: everything that is
+        // used is garbage awaiting the lazy sweep.
+        sh.lazy_publish(0);
+        sh.control.add_allocated(128 << 10); // past the progress floor
+        sh.evaluate_triggers();
+        assert!(
+            !sh.control.has_request(),
+            "unswept lazy garbage must count as available space"
+        );
+    }
+
+    #[test]
+    fn lazy_traced_live_bytes_still_fire_full_trigger() {
+        // Companion: when the mark phase saw the bytes alive, the epoch
+        // carries no unswept-garbage credit and the full trigger fires at
+        // the same effective occupancy as eager mode.
+        let sh = GcShared::new(
+            GcConfig::generational()
+                .with_max_heap(1 << 20)
+                .with_initial_heap(1 << 20)
+                .with_lazy_sweep(true),
+        );
+        let granules = (sh.heap.committed_bytes() * 4 / 5 / 16) as u32;
+        sh.heap.alloc_chunk(granules, granules).unwrap();
+        sh.lazy_publish(sh.heap.used_bytes() as u64); // all of it traced live
         sh.control.add_allocated(128 << 10);
         sh.evaluate_triggers();
         assert_eq!(

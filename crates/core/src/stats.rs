@@ -190,6 +190,29 @@ pub struct GcStats {
     /// Free granules held by the global block store (unsharded: the
     /// single free list).
     pub store_free_granules: u64,
+    /// Histogram of LAB-refill chunk-acquisition latency, in
+    /// nanoseconds, recorded in both sweep modes.  Under
+    /// `GcConfig::lazy_sweep` the refill sweeps an epoch segment first,
+    /// so sweep work moved onto mutators is visible here (and in the
+    /// p99.99 comparison against eager mode) instead of hiding.
+    pub lab_refill: Snapshot,
+    /// Lazy sweep only: cumulative granules reclaimed *at allocation* —
+    /// by mutator segment sweeps (LAB refill sweep-to-allocate and the
+    /// allocation-pressure drain).  Zero in eager mode.
+    pub lazy_freed_at_alloc_granules: u64,
+    /// Lazy sweep only: cumulative granules reclaimed *at cycle
+    /// finalization* — by the collector's between-cycle drain and the
+    /// cycle-start / shutdown epoch finalization.  Zero in eager mode.
+    pub lazy_freed_at_final_granules: u64,
+    /// Lazy sweep only: sweep epochs published (one per completed
+    /// cycle).  Zero in eager mode.
+    pub lazy_epochs: u64,
+    /// Heap bytes in use at snapshot time (object bytes plus leased
+    /// LABs).  In a post-shutdown snapshot every LAB has been retired
+    /// and any lazy epoch finalized, so this is exactly the surviving
+    /// live set — the end-state figure the sweep-mode parity gates
+    /// compare.
+    pub used_bytes: usize,
 }
 
 /// Per-collector-worker phase latency and steal counts (§4.4).

@@ -40,11 +40,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use otf_heap::{Chunk, Color, GRANULE};
+use otf_heap::{Chunk, Color, PageTracker, GRANULE};
 use otf_support::fault;
 
 use crate::config::{Mode, Promotion};
-use crate::cycle::CycleCx;
+use crate::cycle::{Counters, CycleCx};
 use crate::obs::{dur_ns, EventKind};
 use crate::shared::GcShared;
 
@@ -52,19 +52,78 @@ use crate::shared::GcShared;
 /// lists whenever this many are pending, so concurrent allocation never
 /// starves behind a long sweep.  The batch is pre-sized to this
 /// threshold.
-const SWEEP_FLUSH_CHUNKS: usize = 256;
+pub(crate) const SWEEP_FLUSH_CHUNKS: usize = 256;
 
 /// Emit a `SweepProgress` event every time the sweep cursor advances this
 /// many granules, independent of chunk-batch flushes, so the event ring
 /// can reconstruct the sweep rate even on a heap that frees little.
-const SWEEP_PROGRESS_STRIDE: usize = 1 << 15;
+pub(crate) const SWEEP_PROGRESS_STRIDE: usize = 1 << 15;
 
 /// Parallel sweep segment size in granules: 64 pages of arena
 /// (16 KiB-granule heap pages × 256 granules/page), which is also
-/// page-aligned in the color table (one byte per granule).
-const SWEEP_SEGMENT_GRANULES: usize = 64 * 256;
+/// page-aligned in the color table (one byte per granule).  The lazy
+/// (allocation-time) sweep claims the same segments from its epoch
+/// cursor (`crate::lazy`).
+pub(crate) const SWEEP_SEGMENT_GRANULES: usize = 64 * 256;
+
+/// Sweep configuration pinned once per sweep epoch: the cycle's clear /
+/// allocation colors and promotion policy.  The eager sweep captures it
+/// at sweep start; the lazy back-end captures it when the collector
+/// publishes a sweep epoch and keeps using the *pinned* copy even after
+/// the next cycle's color toggle — re-reading `ColorState` mid-epoch
+/// would reclaim the wrong color (DESIGN.md §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SweepParams {
+    /// The color being reclaimed (the dead color of the finished trace).
+    pub clear: Color,
+    /// The epoch's allocation color (left untouched / re-applied to
+    /// young survivors under aging).
+    pub alloc: Color,
+    /// `Some(threshold)` in the aging variant (Figure 5).
+    pub aging: Option<u8>,
+    /// The color a leaked gray is conservatively promoted to in the
+    /// non-aging arms (pinned: for the non-generational baseline this is
+    /// the epoch's mark color, which toggles).
+    pub trace_target: Color,
+}
+
+/// Per-sweeper scratch threaded through [`GcShared::sweep_range`]: the
+/// open reclaimed run, the pending chunk batch, and the granule mark for
+/// the next stride `SweepProgress` event.
+pub(crate) struct SweepBuf {
+    pub run: Option<Chunk>,
+    pub batch: Vec<Chunk>,
+    pub next_mark: usize,
+}
+
+impl SweepBuf {
+    pub(crate) fn new(next_mark: usize) -> SweepBuf {
+        SweepBuf {
+            run: None,
+            batch: Vec::with_capacity(SWEEP_FLUSH_CHUNKS),
+            next_mark,
+        }
+    }
+}
 
 impl GcShared {
+    /// Captures the current cycle's sweep configuration (see
+    /// [`SweepParams`]).  Both sweep back-ends call this at the same
+    /// protocol point — after the trace, before any reclamation — so the
+    /// pinned copy is identical to what the eager sweep used to re-read
+    /// per range.
+    pub(crate) fn sweep_params(&self) -> SweepParams {
+        SweepParams {
+            clear: self.colors.clear_color(),
+            alloc: self.colors.allocation_color(),
+            aging: match self.config.mode {
+                Mode::Generational(Promotion::Aging { threshold }) => Some(threshold),
+                _ => None,
+            },
+            trace_target: self.trace_target(),
+        }
+    }
+
     /// Runs the sweep for the current cycle: serial at `gc_threads == 1`
     /// (the verified-default DLG configuration), page-partitioned
     /// parallel otherwise.
@@ -80,16 +139,23 @@ impl GcShared {
     fn sweep_serial(&self, cx: &mut CycleCx) {
         let t0 = Instant::now();
         let end = self.heap.frontier_granule();
+        let params = self.sweep_params();
 
         // Sweep reads every color byte up to the frontier.
         cx.touch_color_range(1, end);
 
-        let mut run: Option<Chunk> = None;
-        let mut batch: Vec<Chunk> = Vec::with_capacity(SWEEP_FLUSH_CHUNKS);
-        let mut next_mark = 1 + SWEEP_PROGRESS_STRIDE;
-        self.sweep_range(1, end, end, cx, &mut run, &mut batch, &mut next_mark);
-        Self::flush_run(&mut run, &mut batch);
-        self.heap.free_chunk_batch(&batch);
+        let mut buf = SweepBuf::new(1 + SWEEP_PROGRESS_STRIDE);
+        self.sweep_range(
+            &params,
+            1,
+            end,
+            end,
+            &mut cx.counters,
+            Some(&mut cx.pages),
+            &mut buf,
+        );
+        Self::flush_run(&mut buf.run, &mut buf.batch);
+        self.heap.free_chunk_batch(&buf.batch);
         self.obs
             .event(EventKind::SweepProgress, end as u64, end as u64);
         self.obs.note_worker_sweep(0, dur_ns(t0.elapsed()));
@@ -99,6 +165,7 @@ impl GcShared {
     /// cursor; per-worker counters and touch-sets merge at the barrier.
     fn sweep_parallel(&self, cx: &mut CycleCx, workers: usize) {
         let frontier = self.heap.frontier_granule();
+        let params = self.sweep_params();
         cx.touch_color_range(1, frontier);
 
         let cursor = AtomicUsize::new(1);
@@ -106,9 +173,10 @@ impl GcShared {
         std::thread::scope(|s| {
             for (i, hcx) in helper_cxs.iter_mut().enumerate() {
                 let cursor = &cursor;
-                s.spawn(move || self.sweep_worker(i + 1, frontier, cursor, hcx));
+                let params = &params;
+                s.spawn(move || self.sweep_worker(i + 1, frontier, cursor, params, hcx));
             }
-            self.sweep_worker(0, frontier, &cursor, cx);
+            self.sweep_worker(0, frontier, &cursor, &params, cx);
         });
         for hcx in &helper_cxs {
             cx.merge_worker(hcx);
@@ -117,12 +185,17 @@ impl GcShared {
             .event(EventKind::SweepProgress, frontier as u64, frontier as u64);
     }
 
-    fn sweep_worker(&self, w: usize, frontier: usize, cursor: &AtomicUsize, cx: &mut CycleCx) {
+    fn sweep_worker(
+        &self,
+        w: usize,
+        frontier: usize,
+        cursor: &AtomicUsize,
+        params: &SweepParams,
+        cx: &mut CycleCx,
+    ) {
         let t0 = Instant::now();
         let colors = self.heap.colors();
-        let mut run: Option<Chunk> = None;
-        let mut batch: Vec<Chunk> = Vec::with_capacity(SWEEP_FLUSH_CHUNKS);
-        let mut next_mark = SWEEP_PROGRESS_STRIDE;
+        let mut buf = SweepBuf::new(SWEEP_PROGRESS_STRIDE);
         loop {
             let seg_start = cursor.fetch_add(SWEEP_SEGMENT_GRANULES, Ordering::SeqCst);
             if seg_start >= frontier {
@@ -147,52 +220,60 @@ impl GcShared {
             };
             if snapped < seg_stop {
                 self.sweep_range(
+                    params,
                     snapped,
                     seg_stop,
                     frontier,
-                    cx,
-                    &mut run,
-                    &mut batch,
-                    &mut next_mark,
+                    &mut cx.counters,
+                    Some(&mut cx.pages),
+                    &mut buf,
                 );
             }
             // Never coalesce a reclaimed run across a segment boundary —
             // the adjacent segment may belong to another worker.
-            Self::flush_run(&mut run, &mut batch);
+            Self::flush_run(&mut buf.run, &mut buf.batch);
         }
-        self.heap.free_chunk_batch(&batch);
+        self.heap.free_chunk_batch(&buf.batch);
         self.obs.note_worker_sweep(w, dur_ns(t0.elapsed()));
     }
 
     /// Sweeps every object whose start granule lies in `[start, stop)`.
     /// `frontier` bounds the *extent* parse, so an object straddling
     /// `stop` is still processed whole by this call.
+    ///
+    /// This is the kernel shared by both sweep back-ends.  The eager
+    /// collector paths pass their `CycleCx` split into `counters` +
+    /// `Some(pages)`; the lazy allocation-time path (`crate::lazy`)
+    /// passes standalone counters and `None` for the page tracker — a
+    /// `PageTracker` is a heap-sized bitmap far too heavy to build per
+    /// LAB refill, so lazy sweeps are simply absent from the page-touch
+    /// figures (documented in DESIGN.md §4.6).
     #[allow(clippy::too_many_arguments)]
-    fn sweep_range(
+    pub(crate) fn sweep_range(
         &self,
+        params: &SweepParams,
         start: usize,
         stop: usize,
         frontier: usize,
-        cx: &mut CycleCx,
-        run: &mut Option<Chunk>,
-        batch: &mut Vec<Chunk>,
-        next_mark: &mut usize,
+        counters: &mut Counters,
+        mut pages: Option<&mut PageTracker>,
+        buf: &mut SweepBuf,
     ) {
-        let clear = self.colors.clear_color();
-        let alloc = self.colors.allocation_color();
+        let SweepParams {
+            clear,
+            alloc,
+            aging,
+            trace_target,
+        } = *params;
         let colors = self.heap.colors();
         let ages = self.heap.ages();
-        let aging = match self.config.mode {
-            Mode::Generational(Promotion::Aging { threshold }) => Some(threshold),
-            _ => None,
-        };
 
         let mut g = start;
         while g < stop {
-            if g >= *next_mark {
+            if g >= buf.next_mark {
                 self.obs
                     .event(EventKind::SweepProgress, g as u64, frontier as u64);
-                *next_mark = g + SWEEP_PROGRESS_STRIDE;
+                buf.next_mark = g + SWEEP_PROGRESS_STRIDE;
             }
             // Fast path: skip reclaimed / unallocated / in-flight space
             // with relaxed word-at-a-time loads.  Such space is never
@@ -201,10 +282,10 @@ impl GcShared {
             // else may own).
             let next = colors.skip_non_object(g, stop);
             if next != g {
-                Self::flush_run(run, batch);
-                if batch.len() >= SWEEP_FLUSH_CHUNKS {
-                    self.heap.free_chunk_batch(batch);
-                    batch.clear();
+                Self::flush_run(&mut buf.run, &mut buf.batch);
+                if buf.batch.len() >= SWEEP_FLUSH_CHUNKS {
+                    self.heap.free_chunk_batch(&buf.batch);
+                    buf.batch.clear();
                     self.obs
                         .event(EventKind::SweepProgress, g as u64, frontier as u64);
                 }
@@ -220,14 +301,14 @@ impl GcShared {
             let size = obj_end - g;
             if color == clear {
                 // Reclaim: free ← free ∪ x; color(x) ← blue.
-                cx.counters.objects_freed += 1;
-                cx.counters.bytes_freed += (size * GRANULE) as u64;
+                counters.objects_freed += 1;
+                counters.bytes_freed += (size * GRANULE) as u64;
                 colors.fill(g, size, Color::Free);
                 ages.set(g, 0);
-                *run = Some(match run.take() {
+                buf.run = Some(match buf.run.take() {
                     Some(r) if r.end() as usize == g => Chunk::new(r.start, r.len + size as u32),
                     Some(r) => {
-                        batch.push(r);
+                        buf.batch.push(r);
                         Chunk::new(g as u32, size as u32)
                     }
                     None => Chunk::new(g as u32, size as u32),
@@ -235,21 +316,23 @@ impl GcShared {
             } else {
                 // Survivor (traced, created-during-cycle, or — for
                 // robustness — a leaked gray, treated as live).
-                Self::flush_run(run, batch);
-                if batch.len() >= SWEEP_FLUSH_CHUNKS {
-                    self.heap.free_chunk_batch(batch);
-                    batch.clear();
+                Self::flush_run(&mut buf.run, &mut buf.batch);
+                if buf.batch.len() >= SWEEP_FLUSH_CHUNKS {
+                    self.heap.free_chunk_batch(&buf.batch);
+                    buf.batch.clear();
                     self.obs
                         .event(EventKind::SweepProgress, g as u64, frontier as u64);
                 }
-                cx.counters.objects_survived += 1;
-                cx.counters.bytes_survived += (size * GRANULE) as u64;
+                counters.objects_survived += 1;
+                counters.bytes_survived += (size * GRANULE) as u64;
                 if color == alloc {
-                    cx.counters.bytes_alloc_colored += (size * GRANULE) as u64;
+                    counters.bytes_alloc_colored += (size * GRANULE) as u64;
                 }
                 match aging {
                     Some(threshold) => {
-                        cx.touch_age(g);
+                        if let Some(p) = pages.as_mut() {
+                            p.touch_byte(otf_heap::Space::AgeTable, g);
+                        }
                         let age = ages.get(g);
                         if age < threshold {
                             // Young survivor: stays in the young
@@ -264,7 +347,7 @@ impl GcShared {
                         if color == Color::Gray {
                             // A gray that escaped the trace: keep it
                             // conservatively as marked.
-                            colors.set(g, self.trace_target());
+                            colors.set(g, trace_target);
                         }
                         // Simple variant: black stays black (promotion);
                         // allocation color untouched.
@@ -277,7 +360,7 @@ impl GcShared {
 
     /// Moves a finished reclaimed run into the pending batch (inserted
     /// into the free lists in bulk at the end of the sweep).
-    fn flush_run(run: &mut Option<Chunk>, batch: &mut Vec<Chunk>) {
+    pub(crate) fn flush_run(run: &mut Option<Chunk>, batch: &mut Vec<Chunk>) {
         if let Some(r) = run.take() {
             batch.push(r);
         }

@@ -77,6 +77,7 @@ impl GcShared {
             self.mark_gray_clear_local(son, &mut cx.mark_stack);
         }
         cx.counters.objects_traced += 1;
+        cx.counters.bytes_traced += header.size_bytes() as u64;
         cx.touch_object(obj, 1 + ref_slots);
         cx.touch_color(g);
     }

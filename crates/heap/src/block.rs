@@ -14,7 +14,10 @@
 //! pool by this map; the map only changes at lease/return time, and a
 //! block can only be returned when *all* of its granules sit in the
 //! owning shard's pool — so no concurrent free can be in flight for a
-//! block whose owner is changing (see `ShardedAlloc`).
+//! block whose owner is changing (see `ShardedAlloc`).  These invariants
+//! are stated over *frees*, not over who issues them: lazy-sweep
+//! mutators (DESIGN.md §4.6) route their reclaimed runs through the same
+//! owner map as eager sweep workers.
 
 use std::sync::atomic::{AtomicU16, AtomicUsize, Ordering};
 

@@ -14,6 +14,11 @@
 //! (`preferred ≫ min`) get big contiguous runs when available and degrade
 //! gracefully on a tight heap, while exact requests (`min == preferred`)
 //! get best-fit with minimal splitting.
+//!
+//! The pool is indifferent to which thread performs reclamation: sweep
+//! batches arrive from collector workers in the eager back-end and from
+//! allocating mutators in the lazy one (DESIGN.md §4.6), always through
+//! the same insert paths under the same lock.
 
 use std::collections::BTreeMap;
 

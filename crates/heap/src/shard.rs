@@ -1,9 +1,10 @@
 //! Per-shard allocation on top of the global [`BlockStore`].
 //!
 //! Each shard owns a private coalescing [`FreeLists`] pool.  A mutator
-//! pinned to shard *S* (and a sweep worker flushing a batch whose runs
-//! land in *S*-owned blocks) synchronizes only on *S*'s pool lock; the
-//! store lock is taken only to lease or return whole blocks.
+//! pinned to shard *S* (and a sweep claimant — collector worker or, in
+//! the lazy back-end, another mutator — flushing a batch whose runs land
+//! in *S*-owned blocks) synchronizes only on *S*'s pool lock; the store
+//! lock is taken only to lease or return whole blocks.
 //!
 //! ## Ownership invariants (DESIGN.md §4.5)
 //!

@@ -56,10 +56,11 @@ fn same_seed_reproduces_identical_injection_sequence() {
     );
 }
 
-/// The seeded chaos matrix: every collector variant survives both a
-/// scheduling-storm plan (delays and yields inside the protocol's race
-/// windows) and a failure-storm plan (refused chunk allocations) with a
-/// structurally consistent heap at the end.
+/// The seeded chaos matrix: every collector variant × both sweep modes
+/// survives both a scheduling-storm plan (delays and yields inside the
+/// protocol's race windows — including the lazy segment-claim and
+/// run-reclaim windows) and a failure-storm plan (refused chunk
+/// allocations) with a structurally consistent heap at the end.
 #[test]
 fn chaos_matrix_verifies_clean_under_fault_plans() {
     let _serial = fault::exclusive();
@@ -72,6 +73,11 @@ fn chaos_matrix_verifies_clean_under_fault_plans() {
             )
             .rule(FaultRule::at("mutator.barrier.window").yielding(0.1))
             .rule(FaultRule::at("mutator.lab.refill").delaying(0.1, 100))
+            .rule(
+                FaultRule::at("mutator.lazy_sweep.segment")
+                    .delaying(0.2, 200)
+                    .yielding(0.2),
+            )
             .rule(FaultRule::at("collector.phase").delaying(0.5, 500))
             .rule(FaultRule::at("collector.handshake.wait").yielding(0.3))
     };
@@ -83,20 +89,25 @@ fn chaos_matrix_verifies_clean_under_fault_plans() {
                     .max_fires(25),
             )
             .rule(FaultRule::at("mutator.lab.refill").yielding(0.2))
+            .rule(FaultRule::at("mutator.lazy_sweep.segment").yielding(0.3))
             .rule(FaultRule::at("mutator.cooperate").yielding(0.1))
     };
     let w = Chaos::new().with_threads(3).scaled(0.2);
     for cfg in variants() {
-        for (name, mk) in [("storm", storm), ("failures", failures)] {
-            fault::install(mk());
-            let (_, violations) = driver::run_workload_verified(&w, cfg, 23);
-            let log = fault::uninstall();
-            assert!(
-                violations.is_empty(),
-                "plan {name:?} under {:?} left heap violations after {} injections: {violations:?}",
-                cfg.mode,
-                log.len()
-            );
+        for lazy in [false, true] {
+            let cfg = cfg.with_lazy_sweep(lazy);
+            for (name, mk) in [("storm", storm), ("failures", failures)] {
+                fault::install(mk());
+                let (_, violations) = driver::run_workload_verified(&w, cfg, 23);
+                let log = fault::uninstall();
+                assert!(
+                    violations.is_empty(),
+                    "plan {name:?} under {:?} (lazy_sweep={lazy}) left heap violations \
+                     after {} injections: {violations:?}",
+                    cfg.mode,
+                    log.len()
+                );
+            }
         }
     }
 }
@@ -120,29 +131,33 @@ fn parallel_chaos_matrix_verifies_clean_at_four_workers() {
             )
             .rule(FaultRule::at("mutator.cooperate").yielding(0.2))
             .rule(FaultRule::at("mutator.barrier.window").yielding(0.1))
+            .rule(FaultRule::at("mutator.lazy_sweep.segment").yielding(0.3))
             .rule(FaultRule::at("collector.phase").delaying(0.2, 200))
     };
     let w = Chaos::new().with_threads(3).scaled(0.2);
     for cfg in variants() {
-        let cfg = cfg.with_gc_threads(4);
-        fault::install(plan());
-        let (result, violations) = driver::run_workload_verified(&w, cfg, 31);
-        let log = fault::uninstall();
-        assert!(
-            violations.is_empty(),
-            "N=4 chaos under {:?} left heap violations after {} injections: {violations:?}",
-            cfg.mode,
-            log.len()
-        );
-        assert_eq!(
-            result.stats.workers.len(),
-            4,
-            "expected per-worker stats for all four GC workers"
-        );
-        assert!(
-            result.stats.workers[0].mark.count() > 0,
-            "worker 0 never recorded a mark phase"
-        );
+        for lazy in [false, true] {
+            let cfg = cfg.with_gc_threads(4).with_lazy_sweep(lazy);
+            fault::install(plan());
+            let (result, violations) = driver::run_workload_verified(&w, cfg, 31);
+            let log = fault::uninstall();
+            assert!(
+                violations.is_empty(),
+                "N=4 chaos under {:?} (lazy_sweep={lazy}) left heap violations \
+                 after {} injections: {violations:?}",
+                cfg.mode,
+                log.len()
+            );
+            assert_eq!(
+                result.stats.workers.len(),
+                4,
+                "expected per-worker stats for all four GC workers"
+            );
+            assert!(
+                result.stats.workers[0].mark.count() > 0,
+                "worker 0 never recorded a mark phase"
+            );
+        }
     }
 }
 

@@ -89,7 +89,12 @@ fn churn_under_config(cfg: GcConfig) {
         check_list(&m, *head, *n, *seed);
     }
     // Mutators can outrun the on-the-fly collector in a short test; force
-    // one full cycle so the assertions below are deterministic.
+    // two full cycles so the assertions below are deterministic.  (Two,
+    // not one: a lazy-mode cycle ends mark-only and its reclamation is
+    // folded into the *next* cycle's stats when the epoch is finalized,
+    // so the second cycle guarantees `bytes_freed` is visible in both
+    // sweep modes.)
+    m.parked(|| gc.collect_full_blocking());
     m.parked(|| gc.collect_full_blocking());
     check_list(&m, keeper, 500, 10_000);
     for (head, n, seed) in &medium {
@@ -138,6 +143,175 @@ fn churn_sharded_single_shard_parity_arm() {
     // N=1 sharding: same code path as N>1 but serial — the parity arm
     // against the unsharded oracle above.
     churn_under_config(GcConfig::generational().with_alloc_shards(1));
+}
+
+#[test]
+fn churn_lazy_sweep_generational() {
+    churn_under_config(GcConfig::generational().with_lazy_sweep(true));
+}
+
+#[test]
+fn churn_lazy_sweep_non_generational() {
+    churn_under_config(GcConfig::non_generational().with_lazy_sweep(true));
+}
+
+#[test]
+fn churn_lazy_sweep_aging() {
+    churn_under_config(GcConfig::aging(4).with_lazy_sweep(true));
+}
+
+#[test]
+fn churn_lazy_sweep_sharded() {
+    churn_under_config(
+        GcConfig::generational()
+            .with_alloc_shards(4)
+            .with_lazy_sweep(true),
+    );
+}
+
+#[test]
+fn lazy_sweep_multithreaded_churn_leaves_heap_verifiable() {
+    // The combined cell: lazy allocation-time sweeping racing across
+    // sharded mutator threads, then forced completion of all outstanding
+    // segments (verify_heap finalizes the epoch) must leave a clean heap.
+    let mut gc = Gc::new(small(
+        GcConfig::generational()
+            .with_alloc_shards(4)
+            .with_lazy_sweep(true),
+    ));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let mut m = gc.mutator();
+            s.spawn(move || {
+                let keeper = build_list(&mut m, 200, t * 1_000_000);
+                m.root_push(keeper);
+                for round in 0..100u64 {
+                    let seed = t * 1_000_000 + round * 997;
+                    let head = build_list(&mut m, 50, seed);
+                    check_list(&m, head, 50, seed);
+                    m.cooperate();
+                }
+                check_list(&m, keeper, 200, t * 1_000_000);
+            });
+        }
+    });
+    gc.collect_full_blocking();
+    gc.stop_collector();
+    let violations = gc.verify_heap();
+    assert!(violations.is_empty(), "heap violations: {violations:?}");
+    let stats = gc.stats();
+    assert!(stats.lazy_epochs > 0, "no lazy epochs were published");
+    let shard_total: u64 = stats.shard_free_granules.iter().sum();
+    assert_eq!(
+        shard_total + stats.store_free_granules,
+        gc.free_granules(),
+        "stats shard totals do not balance after lazy finalization"
+    );
+}
+
+/// Deterministic single-mutator workload, no collections until one
+/// explicit full at the very end; returns the end state for eager/lazy
+/// differential comparison.  Because no reclaimed space exists before
+/// that single cycle, both runs perform the identical allocation
+/// sequence at identical addresses; after the cycle, the eager run has
+/// swept, and the lazy run has published an epoch whose forced
+/// completion (`verify_heap`) must reproduce the same heap exactly.
+fn sweep_mode_end_state(
+    cfg: GcConfig,
+    lazy: bool,
+) -> (Vec<(otf_gengc::heap::Color, u8, u64)>, usize, u64) {
+    let mut gc = Gc::new(
+        cfg.with_lazy_sweep(lazy)
+            .with_max_heap(16 << 20)
+            .with_initial_heap(16 << 20)
+            .with_young_size(8 << 20),
+    );
+    let mut m = gc.mutator();
+    let keeper = build_list(&mut m, 300, 42);
+    m.root_push(keeper);
+    let mut kept: Vec<(ObjectRef, usize, u64)> = Vec::new();
+    for round in 0..3u64 {
+        for g in 0..400u64 {
+            build_list(&mut m, 10, round * 100_000 + g); // garbage
+        }
+        let head = build_list(&mut m, 50, 7_000_000 + round);
+        m.root_push(head);
+        kept.push((head, 50, 7_000_000 + round));
+    }
+    m.parked(|| gc.collect_full_blocking());
+    check_list(&m, keeper, 300, 42);
+    for (h, n, s) in &kept {
+        check_list(&m, *h, *n, *s);
+    }
+    // Record every surviving node (not just the heads) in deterministic
+    // walk order.  The mutator stays alive through the state capture: its
+    // LAB-tail free on drop would otherwise interleave at a run-dependent
+    // position in the lazy drain's chunk stream and perturb the
+    // order-sensitive shard coalesce/extract decisions.
+    let mut heads = vec![(keeper, 300usize)];
+    heads.extend(kept.iter().map(|(h, n, _)| (*h, *n)));
+    let mut nodes = Vec::new();
+    for (h, n) in &heads {
+        let mut cur = *h;
+        for _ in 0..*n {
+            nodes.push((cur, m.read_data(cur, 0)));
+            cur = m.read_ref(cur, 0);
+        }
+    }
+    gc.stop_collector();
+    let violations = gc.verify_heap(); // forces completion of lazy segments
+    assert!(violations.is_empty(), "heap violations: {violations:?}");
+    let state: Vec<_> = nodes
+        .iter()
+        .map(|&(o, p)| (gc.debug_color_of(o), gc.debug_age_of(o), p))
+        .collect();
+    let stats = gc.stats();
+    let shard_total: u64 = stats.shard_free_granules.iter().sum();
+    assert_eq!(
+        shard_total + stats.store_free_granules,
+        gc.free_granules(),
+        "per-shard free balances do not sum to the global total"
+    );
+    let lazy_freed = stats.lazy_freed_at_alloc_granules + stats.lazy_freed_at_final_granules;
+    if lazy {
+        assert!(stats.lazy_epochs > 0, "lazy run published no epochs");
+        assert!(lazy_freed > 0, "lazy run reclaimed nothing via segments");
+    } else {
+        assert_eq!(stats.lazy_epochs, 0, "eager run published lazy epochs");
+        assert_eq!(lazy_freed, 0, "eager run counted lazy reclamation");
+    }
+    drop(m);
+    (state, gc.used_bytes(), gc.free_granules())
+}
+
+#[test]
+fn lazy_and_eager_sweep_reach_identical_end_state() {
+    // Satellite differential: forcing completion of all outstanding lazy
+    // segments must yield a heap — survivor colors, ages, payloads,
+    // used bytes, free-granule totals, per-shard balances — identical to
+    // an eager-sweep run of the same deterministic workload.
+    #[allow(clippy::type_complexity)]
+    let cases: [(&str, fn() -> GcConfig); 3] = [
+        ("generational", GcConfig::generational),
+        ("aging", || GcConfig::aging(2)),
+        ("sharded", || GcConfig::generational().with_alloc_shards(4)),
+    ];
+    for (name, mk) in cases {
+        let (eager, eager_used, eager_free) = sweep_mode_end_state(mk(), false);
+        let (lazy, lazy_used, lazy_free) = sweep_mode_end_state(mk(), true);
+        assert_eq!(eager, lazy, "{name}: survivor colors/ages/payloads diverge");
+        assert_eq!(eager_used, lazy_used, "{name}: used bytes diverge");
+        // Both runs allocate at identical addresses, so used-byte and
+        // free-total equality imply the *set* of free granules is
+        // identical.  The split of that set between shard pools and the
+        // block store is not compared: the shard-to-store extraction
+        // heuristic is chunk-stream-order sensitive, and lazy segment
+        // boundaries split runs where the eager serial sweep does not
+        // (eager parallel sweeps differ from serial the same way) — the
+        // unit test `sharded_finalize_matches_eager_per_shard_balances`
+        // pins per-shard parity on a single-segment stream.
+        assert_eq!(eager_free, lazy_free, "{name}: free-granule totals diverge");
+    }
 }
 
 #[test]
