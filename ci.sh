@@ -20,12 +20,16 @@ OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_kernels_ci.json \
     ./target/release/bench_kernels --quick
 
 # Smoke-run the pause-time benchmark.  The binary itself exits non-zero
-# on non-monotone pause quantiles; the greps catch a malformed JSON
-# emitter (missing bench tag or rows).
+# on non-monotone pause quantiles or if the per-phase durations fail to
+# sum to within 5% of cycle wall time (the packet scheduler's bucket
+# spans telescope the whole cycle — a ratio outside that band means a
+# phase got double-sampled, unattributed, or billed to two slots); the
+# greps catch a malformed JSON emitter and pin the phase-sum verdict.
 OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_pauses_ci.json \
     ./target/release/bench_pauses --quick
 grep -q '"bench": "pauses"' target/BENCH_pauses_ci.json
 grep -q '"workload": "db"' target/BENCH_pauses_ci.json
+grep -q '"phase_sum_ok": true' target/BENCH_pauses_ci.json
 
 # Smoke-run the parallel back-end benchmark (work-stealing mark +
 # page-partitioned sweep).  The binary exits non-zero on any heap
@@ -64,7 +68,8 @@ grep -q '"stall_ok": true' target/BENCH_lazy_ci.json
 
 # The full integration suites again with four GC workers: every
 # collector-driven test (correctness, chaos, observability) must hold
-# under the parallel back-end, not just the serial default.
+# when the packet schedule fans out across the work-stealing pool, not
+# just on the serial one-worker drain.
 OTF_GC_THREADS=4 cargo test -q --offline --test chaos --test gc_correctness
 
 # And again with the sharded heap back-end: the GC protocol must be
@@ -73,7 +78,10 @@ OTF_GC_SHARDS=4 cargo test -q --offline --test chaos --test gc_correctness
 
 # And with the lazy sweep forced on: the chaos and correctness suites
 # must hold when every configuration sweeps at allocation time, both
-# alone and combined with the sharded heap and parallel mark.
+# alone and combined with the sharded heap and parallel mark — the
+# combined cell drives every packet the plans can select (parallel
+# trace lanes, lazy finalize + publish, sharded free-lists) through the
+# packet scheduler at once.
 OTF_GC_LAZY_SWEEP=1 cargo test -q --offline --test chaos --test gc_correctness
 OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
     cargo test -q --offline --test chaos --test gc_correctness

@@ -42,6 +42,11 @@ struct PauseResult {
     handshake: Snapshot,
     alloc_stall: Snapshot,
     barrier_slow: u64,
+    /// Sum over all cycles of the per-phase durations (init + handshakes
+    /// + cards + roots + trace + sweep).
+    phase_ns: u128,
+    /// Sum over all cycles of the cycle wall time.
+    cycle_ns: u128,
 }
 
 fn us(ns: u64) -> f64 {
@@ -62,6 +67,8 @@ fn run_case(
     let mut alloc_stall = Snapshot::default();
     let mut barrier_slow = 0u64;
     let mut cycles = 0usize;
+    let mut phase_ns = 0u128;
+    let mut cycle_ns = 0u128;
     let mut elapses = Vec::new();
     for rep in 0..o.reps.max(1) {
         let r = driver::run_workload(w, cfg, o.seed + rep as u64);
@@ -70,6 +77,11 @@ fn run_case(
         alloc_stall.merge(&r.stats.alloc_stall);
         barrier_slow += r.stats.barrier_slow_hits;
         cycles += r.stats.cycles.len();
+        for c in &r.stats.cycles {
+            let p = c.phases;
+            phase_ns += (p.init + p.handshakes + p.cards + p.roots + p.trace + p.sweep).as_nanos();
+            cycle_ns += c.duration.as_nanos();
+        }
         elapses.push(r.elapsed);
     }
     elapses.sort_unstable();
@@ -82,6 +94,26 @@ fn run_case(
         handshake,
         alloc_stall,
         barrier_slow,
+        phase_ns,
+        cycle_ns,
+    }
+}
+
+/// Phase-accounting gate: across every cycle of every row, the per-phase
+/// durations must sum to within 5% of the cycle wall time.  The phase
+/// breakdown reads the packet schedule's bucket spans back (each span
+/// sampled exactly once at bucket close, nested card/root work
+/// subtracted out of its handshake window), so the sum telescopes the
+/// whole cycle minus only prologue/epilogue overhead — a ratio outside
+/// [0.95, 1.05] means a phase is double-sampled, unattributed, or billed
+/// to two slots.
+fn phase_sum_ratio(rows: &[PauseResult]) -> f64 {
+    let phase_ns: u128 = rows.iter().map(|r| r.phase_ns).sum();
+    let cycle_ns: u128 = rows.iter().map(|r| r.cycle_ns).sum();
+    if cycle_ns == 0 {
+        1.0
+    } else {
+        phase_ns as f64 / cycle_ns as f64
     }
 }
 
@@ -159,10 +191,16 @@ fn json_escape_free(s: &str) -> &str {
 }
 
 fn write_json(rows: &[PauseResult], trace: &TraceOverhead, o: &Options, path: &str) {
+    let ratio = phase_sum_ratio(rows);
     let mut j = String::from("{\n  \"bench\": \"pauses\",\n");
     j.push_str(&format!(
         "  \"scale\": {}, \"reps\": {}, \"seed\": {},\n",
         o.scale, o.reps, o.seed
+    ));
+    j.push_str(&format!(
+        "  \"phase_sum_ratio\": {:.4}, \"phase_sum_ok\": {},\n",
+        ratio,
+        (0.95..=1.05).contains(&ratio)
     ));
     j.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -243,6 +281,14 @@ fn main() {
             eprintln!("error: {e}");
             violations += 1;
         }
+    }
+    let ratio = phase_sum_ratio(&rows);
+    println!("\nphase-sum / cycle-wall ratio: {ratio:.4} (gate: within 5% of 1.0)");
+    if !(0.95..=1.05).contains(&ratio) {
+        eprintln!(
+            "error: phase durations sum to {ratio:.4}x cycle wall time (outside [0.95, 1.05])"
+        );
+        violations += 1;
     }
 
     let mut t = Table::new("GC pause quantiles (microseconds, merged across reps)");

@@ -1,5 +1,10 @@
 //! Dirty-card scanning (`ClearCards`) and full-collection initialization
 //! (`InitFullCollection`) — Figures 3 and 6 of the paper.
+//!
+//! Both run as packets of the cycle schedule (DESIGN.md §4.7): the card
+//! scan inside the second handshake window (before or after the color
+//! toggle, per plan — Figure 2 vs Figure 5 order), the initialization
+//! pass in the init bucket of full collections.
 
 use otf_heap::{Color, GRANULE};
 

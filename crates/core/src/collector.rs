@@ -1,13 +1,15 @@
 //! The collection cycle (Figures 2 and 5) and the collector thread.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::config::{Mode, Promotion};
+use otf_support::packet::Schedule;
+
 use crate::cycle::CycleCx;
-use crate::obs::{dur_ns, phase, EventKind};
+use crate::obs::dur_ns;
+use crate::plan::CycleFrame;
 use crate::shared::GcShared;
-use crate::state::Status;
 use crate::stats::{CycleKind, CycleStats};
 
 impl GcShared {
@@ -15,150 +17,38 @@ impl GcShared {
     /// whole time (on-the-fly): they cooperate via handshakes, their write
     /// barrier keeps the trace sound, and their allocations proceed with
     /// the allocation color.
+    ///
+    /// The cycle is a packet schedule (DESIGN.md §4.7): this
+    /// configuration's plan selects the packets, the buckets open in
+    /// Figure 2/5 order, and with one worker the schedule drains
+    /// byte-for-byte the verified DLG sequence.  Phase attribution reads
+    /// the closed buckets' spans back: each span is sampled exactly once
+    /// at bucket close, handshake windows cover the full post→ack
+    /// interval, and the card/root work nested inside them is subtracted
+    /// out into its own slots.
     pub(crate) fn run_cycle(&self, kind: CycleKind, cx: &mut CycleCx) -> CycleStats {
         let cycle_start = Instant::now();
         otf_support::fault::point("collector.phase");
         cx.reset();
-        // Lazy back-end: the previous sweep epoch must be fully drained
-        // *before* this cycle's color toggle — after the toggle the old
-        // epoch's clear color becomes the allocation color, and a
-        // straggling sweeper under stale params would free fresh objects
-        // (DESIGN.md §4.6).  The between-cycle drain usually emptied it
-        // already, so this is normally a no-op; its residual time is
-        // attributed to the sweep phase.  The epoch's counters are the
-        // deferred sweep results of the *previous* cycle; they fold into
-        // this cycle's stats (one cycle later than eager mode reports
-        // them).
-        if self.config.lazy_sweep {
-            let t = Instant::now();
-            self.lazy_finalize(crate::lazy::LazyWho::Collector);
-            cx.counters.merge(&self.lazy_take_counters());
-            cx.phases.sweep += t.elapsed();
-        }
-        self.collecting
-            .store(true, std::sync::atomic::Ordering::Release);
-        self.obs.note_cycle_begin(kind);
-        let used_before = self.heap.used_bytes();
-        let allocated_since_last = self.control.bytes_since_cycle();
 
-        // ----- clear (Figure 2/5: "clear: If (full collection) Init...") --
-        let t = Instant::now();
-        self.obs.event(EventKind::PhaseBegin, phase::INIT, 0);
-        if kind == CycleKind::Full {
-            match self.config.mode {
-                // The toggled non-generational baseline needs no
-                // initialization pass: the mark color and clear color
-                // simply swap roles each cycle (Remark 5.1).
-                Mode::NonGenerational => {}
-                // Simple variant: recolor old objects young and wipe all
-                // card marks (Figure 3).
-                Mode::Generational(Promotion::Simple) => self.init_full_collection(true, cx),
-                // Aging variant: recolor but *keep* the card marks — they
-                // may describe inter-generational pointers still relevant
-                // to later partial collections (§6).
-                Mode::Generational(Promotion::Aging { .. }) => self.init_full_collection(false, cx),
-            }
-        }
-        cx.phases.init = t.elapsed();
-        self.obs
-            .event(EventKind::PhaseEnd, phase::INIT, dur_ns(cx.phases.init));
+        let workers = self.config.gc_threads;
+        let frame = CycleFrame::new(workers);
+        let mut sched = Schedule::new();
+        let buckets = self.build_cycle_schedule(&mut sched, kind, &frame, workers);
+        self.run_schedule(&sched, cx, workers);
 
-        // ----- first handshake ------------------------------------------
-        otf_support::fault::point("collector.phase");
-        let t = Instant::now();
-        self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
-        self.handshake(Status::Sync1);
-        cx.phases.handshakes += t.elapsed();
-        self.obs
-            .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
+        cx.phases.init = sched.span(buckets.init);
+        cx.phases.cards = Duration::from_nanos(frame.cards_ns.load(Ordering::Relaxed));
+        cx.phases.roots = Duration::from_nanos(frame.roots_ns.load(Ordering::Relaxed));
+        let windows = sched.span(buckets.hs1) + sched.span(buckets.hs2) + sched.span(buckets.hs3);
+        cx.phases.handshakes = windows
+            .saturating_sub(cx.phases.cards)
+            .saturating_sub(cx.phases.roots);
+        cx.phases.trace = sched.span(buckets.trace);
+        cx.phases.sweep = sched.span(buckets.reclaim)
+            + buckets.finalize.map_or(Duration::ZERO, |b| sched.span(b));
 
-        // ----- second handshake: card work and the color toggle ---------
-        otf_support::fault::point("collector.phase");
-        self.post_handshake(Status::Sync2);
-        match self.config.mode {
-            Mode::NonGenerational => {
-                self.colors.toggle();
-            }
-            Mode::Generational(Promotion::Simple) => {
-                // Figure 2 order: ClearCards *before* the toggle, so every
-                // object created after the scan gets the (new) yellow
-                // allocation color and card marks for parents of yellow
-                // objects are never lost (§7.1).
-                let tc = Instant::now();
-                self.obs.event(EventKind::PhaseBegin, phase::CARDS, 0);
-                self.clear_cards_simple(cx);
-                cx.phases.cards = tc.elapsed();
-                self.obs
-                    .event(EventKind::PhaseEnd, phase::CARDS, dur_ns(cx.phases.cards));
-                self.colors.toggle();
-            }
-            Mode::Generational(Promotion::Aging { threshold }) => {
-                // Figure 5 order: toggle first, then scan — the aging scan
-                // must gray the previous cycle's young survivors, which
-                // only carry the clear color after the toggle.  Full
-                // collections skip the scan entirely: the whole heap is
-                // traced, and the surviving dirty bits stay for later
-                // partial collections (§6).
-                self.colors.toggle();
-                if kind == CycleKind::Partial {
-                    let tc = Instant::now();
-                    self.obs.event(EventKind::PhaseBegin, phase::CARDS, 0);
-                    self.clear_cards_aging(threshold, cx);
-                    cx.phases.cards = tc.elapsed();
-                    self.obs
-                        .event(EventKind::PhaseEnd, phase::CARDS, dur_ns(cx.phases.cards));
-                }
-            }
-        }
-        let t = Instant::now();
-        self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
-        self.wait_handshake();
-
-        // ----- third handshake: root marking -----------------------------
-        // The barrier must start graying overwritten values *before* any
-        // mutator can observe async status, so the tracing flag goes up
-        // first.
-        self.tracing
-            .store(true, std::sync::atomic::Ordering::Release);
-        self.post_handshake(Status::Async);
-        self.mark_global_roots_local(&mut cx.mark_stack);
-        self.wait_handshake();
-        cx.phases.handshakes += t.elapsed();
-        self.obs
-            .event(EventKind::PhaseEnd, phase::HANDSHAKE, dur_ns(t.elapsed()));
-
-        // ----- trace ------------------------------------------------------
-        otf_support::fault::point("collector.phase");
-        let t = Instant::now();
-        self.obs.event(EventKind::PhaseBegin, phase::TRACE, 0);
-        self.trace(cx);
-        cx.phases.trace = t.elapsed();
-        self.obs
-            .event(EventKind::PhaseEnd, phase::TRACE, dur_ns(cx.phases.trace));
-        self.tracing
-            .store(false, std::sync::atomic::Ordering::Release);
-
-        // ----- sweep ------------------------------------------------------
-        otf_support::fault::point("collector.phase");
-        let t = Instant::now();
-        self.obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
-        if self.config.lazy_sweep {
-            // Mark-only cycle: where the sweep used to run, order every
-            // trace-phase color store before the epoch becomes claimable,
-            // then publish the epoch.  Mutator LAB refills and the
-            // between-cycle drain do the actual reclamation.
-            std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
-            self.lazy_publish(cx.counters.bytes_traced);
-            cx.phases.sweep += t.elapsed();
-        } else {
-            self.sweep(cx);
-            cx.phases.sweep = t.elapsed();
-        }
-        self.obs
-            .event(EventKind::PhaseEnd, phase::SWEEP, dur_ns(cx.phases.sweep));
-
-        self.collecting
-            .store(false, std::sync::atomic::Ordering::Release);
+        self.collecting.store(false, Ordering::Release);
 
         let duration = cycle_start.elapsed();
         self.obs.note_cycle_end(kind, dur_ns(duration));
@@ -179,9 +69,9 @@ impl GcShared {
             bytes_survived: c.bytes_survived,
             bytes_alloc_colored: c.bytes_alloc_colored,
             pages_touched: cx.pages.touched() as u64,
-            used_before,
+            used_before: frame.used_before.load(Ordering::Relaxed),
             used_after: self.heap.used_bytes(),
-            allocated_since_last,
+            allocated_since_last: frame.allocated_since.load(Ordering::Relaxed),
         }
     }
 

@@ -269,6 +269,20 @@ impl GcConfig {
         matches!(self.mode, Mode::Generational(_))
     }
 
+    /// The name of the plan this configuration selects — the
+    /// (mode × sweep-backend) combination whose packet sets the cycle
+    /// schedule is built from (DESIGN.md §4.7).
+    pub fn plan_name(&self) -> &'static str {
+        match (self.mode, self.lazy_sweep) {
+            (Mode::Generational(Promotion::Simple), false) => "gen-eager",
+            (Mode::Generational(Promotion::Simple), true) => "gen-lazy",
+            (Mode::Generational(Promotion::Aging { .. }), false) => "aging-eager",
+            (Mode::Generational(Promotion::Aging { .. }), true) => "aging-lazy",
+            (Mode::NonGenerational, false) => "nogen-eager",
+            (Mode::NonGenerational, true) => "nogen-lazy",
+        }
+    }
+
     /// The aging threshold, if the aging policy is selected.
     pub fn aging_threshold(&self) -> Option<u8> {
         match self.mode {
@@ -346,6 +360,27 @@ impl Default for GcConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_names_cover_mode_and_backend() {
+        assert_eq!(GcConfig::generational().plan_name(), "gen-eager");
+        assert_eq!(
+            GcConfig::generational().with_lazy_sweep(true).plan_name(),
+            "gen-lazy"
+        );
+        assert_eq!(GcConfig::aging(3).plan_name(), "aging-eager");
+        assert_eq!(
+            GcConfig::aging(3).with_lazy_sweep(true).plan_name(),
+            "aging-lazy"
+        );
+        assert_eq!(GcConfig::non_generational().plan_name(), "nogen-eager");
+        assert_eq!(
+            GcConfig::non_generational()
+                .with_lazy_sweep(true)
+                .plan_name(),
+            "nogen-lazy"
+        );
+    }
 
     #[test]
     fn defaults_match_paper() {

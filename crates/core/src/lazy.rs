@@ -20,8 +20,9 @@
 //! before the next cycle's color toggle*: after the toggle, the old
 //! epoch's clear color becomes the new allocation color, and a straggler
 //! sweeping under stale params would free freshly allocated objects.
-//! [`GcShared::lazy_finalize`] therefore runs at the *top* of
-//! `run_cycle` — before any handshake — and the publish at the old sweep
+//! [`GcShared::lazy_finalize`] therefore runs as the cycle schedule's
+//! *first* bucket (`lazy-finalize`, before the init bucket and any
+//! handshake — DESIGN.md §4.7), and the publish packet at the old sweep
 //! point only ever replaces an already-drained epoch.  Within an epoch,
 //! segment claims are serialized by a mutex (each claim copies the
 //! pinned params out under the lock), the segment cursor partitions

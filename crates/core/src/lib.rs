@@ -67,6 +67,7 @@ mod cycle;
 mod lazy;
 mod mutator;
 mod obs;
+mod plan;
 mod proptest_cycle;
 mod shared;
 mod state;

@@ -61,6 +61,8 @@ pub mod phase {
     pub const TRACE: u64 = 3;
     /// The sweep pass.
     pub const SWEEP: u64 = 4;
+    /// Global-root marking (between the third post and its wait).
+    pub const ROOTS: u64 = 5;
 
     /// Human-readable phase name (for the JSONL trace).
     pub fn name(p: u64) -> &'static str {
@@ -70,6 +72,7 @@ pub mod phase {
             CARDS => "cards",
             TRACE => "trace",
             SWEEP => "sweep",
+            ROOTS => "roots",
             _ => "unknown",
         }
     }

@@ -364,7 +364,9 @@ impl GcShared {
         );
     }
 
-    /// Convenience: `Handshake(s)` = post + wait (Figure 3).
+    /// Convenience: `Handshake(s)` = post + wait (Figure 3).  The cycle
+    /// schedule posts and waits as separate packets (tests).
+    #[allow(dead_code)]
     pub(crate) fn handshake(&self, s: Status) {
         self.post_handshake(s);
         self.wait_handshake();
@@ -426,6 +428,13 @@ impl GcShared {
         for r in globals {
             self.mark_gray_snapshot_local(r, stack);
         }
+    }
+
+    /// Whether every registered mutator is outside its write-barrier
+    /// epoch (§4.3): the trace bucket's closing condition observes this
+    /// *before* re-checking queue emptiness.
+    pub(crate) fn mutators_all_even(&self) -> bool {
+        self.mutators.lock().iter().all(|m| m.epoch_is_even())
     }
 
     /// Queue-based variant (tests).

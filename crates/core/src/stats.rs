@@ -34,6 +34,10 @@ pub struct PhaseTimes {
     pub handshakes: Duration,
     /// Dirty-card scanning (`ClearCards`).
     pub cards: Duration,
+    /// Global-root marking inside the third handshake window (trace
+    /// work, not handshake latency — its own slot so handshake SLOs
+    /// aren't inflated by root-set size).
+    pub roots: Duration,
     /// Transitive marking.
     pub trace: Duration,
     /// The sweep pass.

@@ -126,17 +126,26 @@ impl GcShared {
 
     /// Runs the sweep for the current cycle: serial at `gc_threads == 1`
     /// (the verified-default DLG configuration), page-partitioned
-    /// parallel otherwise.
+    /// parallel otherwise — run as a standalone one-bucket schedule (the
+    /// full cycle builds this same bucket via
+    /// [`GcShared::build_cycle_schedule`]; this entry point exists for
+    /// the sweep-phase tests).
+    #[allow(dead_code)]
     pub(crate) fn sweep(&self, cx: &mut CycleCx) {
         let workers = self.config.gc_threads;
         if workers > 1 {
-            self.sweep_parallel(cx, workers);
+            let frame = crate::plan::CycleFrame::new(workers);
+            let mut sched = otf_support::packet::Schedule::new();
+            self.add_reclaim_bucket(&mut sched, &frame, workers, false, false);
+            self.run_schedule(&sched, cx, workers);
         } else {
             self.sweep_serial(cx);
         }
     }
 
-    fn sweep_serial(&self, cx: &mut CycleCx) {
+    /// The serial sweep kernel: one pass over `[1, frontier)`, emitting
+    /// its own final `SweepProgress` event.
+    pub(crate) fn sweep_serial(&self, cx: &mut CycleCx) {
         let t0 = Instant::now();
         let end = self.heap.frontier_granule();
         let params = self.sweep_params();
@@ -161,31 +170,10 @@ impl GcShared {
         self.obs.note_worker_sweep(0, dur_ns(t0.elapsed()));
     }
 
-    /// Page-partitioned parallel sweep: segments are claimed from a shared
-    /// cursor; per-worker counters and touch-sets merge at the barrier.
-    fn sweep_parallel(&self, cx: &mut CycleCx, workers: usize) {
-        let frontier = self.heap.frontier_granule();
-        let params = self.sweep_params();
-        cx.touch_color_range(1, frontier);
-
-        let cursor = AtomicUsize::new(1);
-        let mut helper_cxs: Vec<CycleCx> = (1..workers).map(|_| CycleCx::new(self)).collect();
-        std::thread::scope(|s| {
-            for (i, hcx) in helper_cxs.iter_mut().enumerate() {
-                let cursor = &cursor;
-                let params = &params;
-                s.spawn(move || self.sweep_worker(i + 1, frontier, cursor, params, hcx));
-            }
-            self.sweep_worker(0, frontier, &cursor, &params, cx);
-        });
-        for hcx in &helper_cxs {
-            cx.merge_worker(hcx);
-        }
-        self.obs
-            .event(EventKind::SweepProgress, frontier as u64, frontier as u64);
-    }
-
-    fn sweep_worker(
+    /// One page-partitioned sweep lane (the body of a `SweepLane`
+    /// packet): claim segments from the shared cursor until the frontier
+    /// is reached.
+    pub(crate) fn sweep_worker(
         &self,
         w: usize,
         frontier: usize,

@@ -1,54 +1,25 @@
 //! The transitive mark phase (`trace` in Figure 2) with sound on-the-fly
-//! termination detection, serial (`gc_threads = 1`, the paper's
-//! configuration) or parallel over work-stealing worker deques
-//! (DESIGN.md §4.4).
-
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+//! termination detection, expressed as trace-drain work packets over the
+//! packet scheduler's trace bucket (DESIGN.md §4.4, §4.7): serial
+//! (`gc_threads = 1`, the paper's configuration) the single lane drains
+//! byte-for-byte the §4.3 protocol; parallel, lanes steal from sibling
+//! deques and the shared gray queue, and the §4.4 termination check is
+//! the bucket's closing condition.
 
 use otf_heap::{Color, ObjectRef};
 use otf_support::fault;
+use otf_support::packet::Schedule;
 use otf_support::steal::WorkerDeque;
-use otf_support::sync::Backoff;
 
 use crate::cycle::CycleCx;
-use crate::obs::dur_ns;
+use crate::plan::CycleFrame;
 use crate::shared::GcShared;
-use crate::state::MutatorShared;
 
 /// A worker publishes the older half of its private mark stack to its
 /// deque once the stack grows past this many entries (and its deque is
 /// empty) — the work-packet idea: the hot path stays a plain `Vec`,
 /// thieves only see batched excess.
 const PUBLISH_MIN: usize = 64;
-
-/// Shared state of the §4.4 parallel termination protocol.
-struct TraceTermination {
-    /// Workers not currently parked in the idle loop.  Starts at N;
-    /// a worker decrements it on going idle and increments it *before*
-    /// taking any new work, so `active == 0` proves no worker holds
-    /// unscanned objects in private state.
-    active: AtomicUsize,
-    /// Bumped whenever work becomes reachable to others or a worker
-    /// reactivates (deque publish, successful steal, gray-queue pop,
-    /// idle→active).  A termination candidate reads it before and after
-    /// its emptiness checks: equality proves no worker went from empty
-    /// to non-empty in between.
-    steal_epoch: AtomicU64,
-    /// Set exactly once, by the worker whose candidate check succeeds.
-    done: AtomicBool,
-}
-
-impl TraceTermination {
-    fn new(workers: usize) -> TraceTermination {
-        TraceTermination {
-            active: AtomicUsize::new(workers),
-            steal_epoch: AtomicU64::new(0),
-            done: AtomicBool::new(false),
-        }
-    }
-}
 
 impl GcShared {
     /// `MarkBlack` (Figure 3): *claim* the object with a gray→target
@@ -82,15 +53,11 @@ impl GcShared {
         cx.touch_color(g);
     }
 
-    /// Refreshes `out` with the current mutator registry (one lock
-    /// acquisition), reusing its capacity.
-    fn snapshot_mutators(&self, out: &mut Vec<Arc<MutatorShared>>) {
-        out.clear();
-        out.extend(self.mutators.lock().iter().cloned());
-    }
-
     /// The trace loop: pop gray objects and blacken them until no gray
-    /// object exists.
+    /// object exists, run as a standalone one-bucket schedule (the full
+    /// cycle builds this same bucket via
+    /// [`GcShared::build_cycle_schedule`]; this entry point exists for
+    /// the mark-phase tests).
     ///
     /// Termination is subtle on-the-fly: a mutator's write barrier first
     /// CASes a color to gray and *then* pushes the object on the queue, so
@@ -101,98 +68,46 @@ impl GcShared {
     /// Any barrier that starts after that point can only shade objects the
     /// DLG invariants already guarantee are marked (see DESIGN.md §4.3).
     /// With `gc_threads > 1` the check additionally covers the worker
-    /// deques and in-flight steals (DESIGN.md §4.4).
+    /// deques and in-flight packets — it is the trace bucket's closing
+    /// condition (DESIGN.md §4.4, §4.7).
+    #[allow(dead_code)]
     pub(crate) fn trace(&self, cx: &mut CycleCx) {
         let workers = self.config.gc_threads;
-        if workers > 1 {
-            self.trace_parallel(cx, workers);
-        } else {
-            self.trace_serial(cx);
-        }
+        let frame = CycleFrame::new(workers);
+        frame.seeds.lock().append(&mut cx.mark_stack);
+        let mut sched = Schedule::new();
+        self.add_trace_bucket(&mut sched, &frame, workers, false);
+        self.run_schedule(&sched, cx, workers);
+        debug_assert!(frame.deques.iter().all(|d| d.is_empty()));
     }
 
-    /// Single-collector trace — the paper's configuration, byte-for-byte
-    /// the §4.3 protocol (no deques, no steal epoch on the hot path).
-    fn trace_serial(&self, cx: &mut CycleCx) {
-        let target = self.trace_target();
-        let start = Instant::now();
-        let mut backoff = Backoff::new();
-        let mut epochs: Vec<Arc<MutatorShared>> = Vec::new();
-        loop {
-            while let Some(obj) = cx.mark_stack.pop() {
-                self.mark_black(obj, target, cx);
-            }
-            if let Some(obj) = self.gray.pop() {
-                backoff.reset();
-                self.mark_black(obj, target, cx);
-                continue;
-            }
-            // Quiescence check, one registry snapshot per attempt (not
-            // one lock per spin): epochs even must be observed *before*
-            // the queue re-check — a barrier either shows an odd epoch
-            // here or has completed its push, which the later emptiness
-            // check then sees.
-            self.snapshot_mutators(&mut epochs);
-            let all_even = epochs.iter().all(|m| m.epoch_is_even());
-            if all_even && cx.mark_stack.is_empty() && self.gray.is_empty() {
-                break;
-            }
-            backoff.snooze();
-        }
-        self.obs.note_worker_mark(0, dur_ns(start.elapsed()), 0);
-    }
-
-    /// Parallel trace: the roots in `cx.mark_stack` are dealt
-    /// round-robin onto per-worker stealing deques, `workers − 1`
-    /// helpers are spawned for the phase (worker 0 is the collector
-    /// thread itself), and per-worker counters/touch-sets merge into
-    /// `cx` at the phase barrier.
-    fn trace_parallel(&self, cx: &mut CycleCx, workers: usize) {
-        let target = self.trace_target();
-        let deques: Vec<WorkerDeque<ObjectRef>> =
-            (0..workers).map(|_| WorkerDeque::new()).collect();
-        for (i, obj) in cx.mark_stack.drain(..).enumerate() {
-            deques[i % workers].push(obj);
-        }
-        let term = TraceTermination::new(workers);
-        let mut helper_cxs: Vec<CycleCx> = (1..workers).map(|_| CycleCx::new(self)).collect();
-        std::thread::scope(|s| {
-            for (i, hcx) in helper_cxs.iter_mut().enumerate() {
-                let deques = &deques;
-                let term = &term;
-                s.spawn(move || self.trace_worker(i + 1, target, deques, term, hcx));
-            }
-            self.trace_worker(0, target, &deques, &term, cx);
-        });
-        for hcx in &helper_cxs {
-            cx.merge_worker(hcx);
-            debug_assert!(hcx.mark_stack.is_empty());
-        }
-        debug_assert!(deques.iter().all(|d| d.is_empty()));
-    }
-
-    /// One mark worker: drain private stack and own deque (publishing
-    /// excess), steal when empty, and participate in §4.4 termination.
-    fn trace_worker(
+    /// One trace-drain run (the body of a `TraceDrain` packet): drain
+    /// the private stack and the own deque (publishing excess), then
+    /// steal from sibling deques and the shared gray queue until no work
+    /// is visible.  Returns the number of successful steals.
+    ///
+    /// Returning with everything empty does **not** end the trace — the
+    /// bucket's drained hook re-checks §4.4 (all packets returned, all
+    /// mutator epochs even, all queues still empty) and refills the
+    /// bucket if work reappeared.  A packet never parks: going idle
+    /// *is* returning to the scheduler, so the bucket's `in_flight`
+    /// count plays the role of §4.4's `active` set.
+    pub(crate) fn trace_drain(
         &self,
-        w: usize,
-        target: Color,
+        lane: usize,
+        workers: usize,
         deques: &[WorkerDeque<ObjectRef>],
-        term: &TraceTermination,
         cx: &mut CycleCx,
-    ) {
-        let start = Instant::now();
-        let my = &deques[w];
+    ) -> u64 {
+        let target = self.trace_target();
+        let my = &deques[lane];
         let mut steals = 0u64;
-        let mut backoff = Backoff::new();
-        let mut epochs: Vec<Arc<MutatorShared>> = Vec::new();
-        'work: loop {
+        loop {
             // Drain local work: private stack (hot, lock-free), then the
             // own deque.  Publish the older half of an overgrown private
             // stack so idle siblings have something to steal.
             loop {
-                if cx.mark_stack.len() >= PUBLISH_MIN && my.is_empty() {
-                    term.steal_epoch.fetch_add(1, Ordering::SeqCst);
+                if workers > 1 && cx.mark_stack.len() >= PUBLISH_MIN && my.is_empty() {
                     let split = cx.mark_stack.len() / 2;
                     my.push_batch(cx.mark_stack.drain(..split));
                 }
@@ -201,65 +116,37 @@ impl GcShared {
                     None => break,
                 }
             }
-            // Out of local work: steal from a sibling deque, then the
-            // shared gray queue.  The fault point models a stalled or
-            // refused steal (chaos tests delay/fail here); a refused
-            // attempt just falls through to the idle loop, which re-tries.
-            if !fault::point("collector.worker") {
+            if workers > 1 {
+                // Out of local work: steal from a sibling deque, then
+                // the shared gray queue.  The fault point models a
+                // stalled or refused steal (chaos tests delay/fail
+                // here); a refused attempt returns to the scheduler,
+                // whose drained hook re-tries via a refill.
+                if fault::point("collector.worker") {
+                    return steals;
+                }
                 let stolen = deques
                     .iter()
                     .enumerate()
-                    .filter(|&(i, _)| i != w)
+                    .filter(|&(i, _)| i != lane)
                     .find_map(|(_, d)| d.steal())
                     .or_else(|| self.gray.pop());
-                if let Some(obj) = stolen {
-                    term.steal_epoch.fetch_add(1, Ordering::SeqCst);
-                    steals += 1;
-                    backoff.reset();
-                    self.mark_black(obj, target, cx);
-                    continue 'work;
-                }
-            }
-            // Truly idle: leave the active set and watch for either new
-            // work or a successful termination candidate.
-            term.active.fetch_sub(1, Ordering::SeqCst);
-            let quit = loop {
-                if term.done.load(Ordering::SeqCst) {
-                    break true;
-                }
-                if deques.iter().any(|d| !d.is_empty()) || !self.gray.is_empty() {
-                    break false; // work appeared — reactivate
-                }
-                // Termination candidate, in §4.4 order: steal-epoch
-                // before, workers all idle, a *fresh* registry snapshot
-                // all even, every deque and the gray queue empty, and
-                // the steal epoch unchanged (no worker went empty→
-                // non-empty behind our back).
-                let e1 = term.steal_epoch.load(Ordering::SeqCst);
-                if term.active.load(Ordering::SeqCst) == 0 {
-                    self.snapshot_mutators(&mut epochs);
-                    if epochs.iter().all(|m| m.epoch_is_even())
-                        && deques.iter().all(|d| d.is_empty())
-                        && self.gray.is_empty()
-                        && term.steal_epoch.load(Ordering::SeqCst) == e1
-                    {
-                        term.done.store(true, Ordering::SeqCst);
-                        break true;
+                match stolen {
+                    Some(obj) => {
+                        steals += 1;
+                        self.mark_black(obj, target, cx);
                     }
+                    None => return steals,
                 }
-                backoff.snooze();
-            };
-            if quit {
-                break 'work;
+            } else {
+                // Serial lane: the shared gray queue is the only other
+                // source, and popping it is not a steal.
+                match self.gray.pop() {
+                    Some(obj) => self.mark_black(obj, target, cx),
+                    None => return 0,
+                }
             }
-            // Reactivate *before* touching any work so `active == 0`
-            // keeps meaning "no worker holds unscanned objects".
-            term.active.fetch_add(1, Ordering::SeqCst);
-            term.steal_epoch.fetch_add(1, Ordering::SeqCst);
-            backoff.reset();
         }
-        self.obs
-            .note_worker_mark(w, dur_ns(start.elapsed()), steals);
     }
 }
 

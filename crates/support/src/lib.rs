@@ -15,6 +15,10 @@
 //!   work-stealing deque (owner LIFO / thief FIFO, Chase–Lev access
 //!   pattern) under the parallel mark phase, with the same
 //!   conservative-length emptiness discipline as `SegQueue`.
+//! * [`packet`] — the work-packet scheduler: typed [`Packet`](packet::Packet)s
+//!   drained from phase buckets that open in a declared order
+//!   ([`Schedule`](packet::Schedule)), with per-bucket closing conditions
+//!   — the MMTk-style frame the collector's plans enqueue into.
 //! * [`rand`] — a seedable SplitMix64-seeded xoshiro256++ PRNG behind the
 //!   small [`RngExt`](rand::RngExt)/[`SeedableRng`](rand::SeedableRng)
 //!   API the workloads consume.
@@ -45,6 +49,7 @@ pub mod bench;
 pub mod check;
 pub mod fault;
 pub mod hist;
+pub mod packet;
 pub mod queue;
 pub mod rand;
 pub mod steal;

@@ -7,7 +7,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use otf_gengc::gc::{EventKind, Gc, GcConfig};
+use otf_gengc::gc::{phase, EventKind, Gc, GcConfig};
 
 fn tiny(cfg: GcConfig) -> GcConfig {
     cfg.with_max_heap(4 << 20)
@@ -112,6 +112,53 @@ fn trace_ring_records_a_coherent_cycle_story() {
             "{line}"
         );
     }
+}
+
+#[test]
+fn handshake_posts_and_nested_work_land_inside_handshake_windows() {
+    // Every handshake is posted inside an open HANDSHAKE phase window
+    // (the old cycle posted sync2 *before* emitting the window's
+    // PhaseBegin, landing the post — and the acks — outside any phase),
+    // and the card scan and root marking nest inside those windows as
+    // their own phases.
+    let gc = run_cooperating_cycles(GcConfig::generational().with_event_trace(true), 2);
+    let events = gc.events();
+
+    let mut depth = 0i64;
+    let mut posts = 0;
+    let mut nested_cards = 0;
+    let mut nested_roots = 0;
+    for e in &events {
+        match e.kind {
+            EventKind::PhaseBegin if e.a == phase::HANDSHAKE => depth += 1,
+            EventKind::PhaseEnd if e.a == phase::HANDSHAKE => depth -= 1,
+            EventKind::HandshakePost => {
+                posts += 1;
+                assert!(
+                    depth > 0,
+                    "handshake posted outside any handshake phase window: {e:?}"
+                );
+            }
+            EventKind::PhaseBegin if e.a == phase::CARDS => {
+                assert!(depth > 0, "card scan outside its handshake window: {e:?}");
+                nested_cards += 1;
+            }
+            EventKind::PhaseBegin if e.a == phase::ROOTS => {
+                assert!(
+                    depth > 0,
+                    "root marking outside its handshake window: {e:?}"
+                );
+                nested_roots += 1;
+            }
+            _ => {}
+        }
+        assert!(depth >= 0, "handshake window closed twice: {e:?}");
+    }
+    // Three posts per full cycle; one card scan and one root-marking
+    // pass per cycle in the simple generational mode.
+    assert!(posts >= 6, "expected >= 6 posts over 2 cycles, got {posts}");
+    assert!(nested_cards >= 2, "expected a card scan per cycle");
+    assert!(nested_roots >= 2, "expected root marking per cycle");
 }
 
 #[test]
