@@ -86,6 +86,16 @@ OTF_GC_LAZY_SWEEP=1 cargo test -q --offline --test chaos --test gc_correctness
 OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
     cargo test -q --offline --test chaos --test gc_correctness
 
+# And with collector restarts armed (supervision, DESIGN.md §4.8) on
+# top of the full combined cell: every suite must hold when any
+# injected collector panic is answered by a safe cycle abort and a
+# respawn instead of permanent poison.  plan_equivalence rides along so
+# the eager/lazy plan-shape pin also holds under the supervisor.
+# Tests that pin the terminal poison path set max_collector_restarts(0)
+# explicitly, so the env default does not change their meaning.
+OTF_GC_MAX_RESTARTS=3 OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
+    cargo test -q --offline --test chaos --test gc_correctness --test plan_equivalence
+
 # Chaos smoke: the fixed-seed fault-injection matrix (debug build — the
 # debug_asserts on the hardened failure paths must hold too).  The binary
 # exits non-zero on a hang, a heap violation after any schedule, a

@@ -30,7 +30,7 @@
 
 use std::time::Duration;
 
-use otf_bench::measure::Options;
+use otf_bench::measure::{pinned, Options};
 use otf_bench::table::Table;
 use otf_gc::GcConfig;
 use otf_support::hist::Snapshot;
@@ -92,8 +92,11 @@ fn run_case(
     let mut violations = 0usize;
     let mut elapses = Vec::new();
     for rep in 0..o.reps.max(1) {
-        let (r, v) =
-            driver::run_workload_verified(w, cfg.with_lazy_sweep(lazy), o.seed + rep as u64);
+        let (r, v) = driver::run_workload_verified(
+            w,
+            pinned(cfg.with_lazy_sweep(lazy)),
+            o.seed + rep as u64,
+        );
         pause.merge(&r.stats.pause);
         alloc_stall.merge(&r.stats.alloc_stall);
         lab_refill.merge(&r.stats.lab_refill);

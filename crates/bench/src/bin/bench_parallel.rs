@@ -28,7 +28,7 @@
 
 use std::time::Duration;
 
-use otf_bench::measure::Options;
+use otf_bench::measure::{pinned, Options};
 use otf_bench::table::Table;
 use otf_gc::GcConfig;
 use otf_support::hist::Snapshot;
@@ -72,7 +72,8 @@ fn run_case(
     let mut violations = 0usize;
     let mut elapses = Vec::new();
     for rep in 0..o.reps.max(1) {
-        let (r, v) = driver::run_workload_verified(w, cfg.with_gc_threads(n), o.seed + rep as u64);
+        let (r, v) =
+            driver::run_workload_verified(w, pinned(cfg.with_gc_threads(n)), o.seed + rep as u64);
         pause.merge(&r.stats.pause);
         cycles += r.stats.cycles.len();
         cycle_ns += r

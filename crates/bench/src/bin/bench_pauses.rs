@@ -23,7 +23,7 @@
 
 use std::time::Duration;
 
-use otf_bench::measure::Options;
+use otf_bench::measure::{pinned, Options};
 use otf_bench::table::Table;
 use otf_gc::GcConfig;
 use otf_support::hist::Snapshot;
@@ -71,7 +71,7 @@ fn run_case(
     let mut cycle_ns = 0u128;
     let mut elapses = Vec::new();
     for rep in 0..o.reps.max(1) {
-        let r = driver::run_workload(w, cfg, o.seed + rep as u64);
+        let r = driver::run_workload(w, pinned(cfg), o.seed + rep as u64);
         pause.merge(&r.stats.pause);
         handshake.merge(&r.stats.handshake);
         alloc_stall.merge(&r.stats.alloc_stall);

@@ -29,7 +29,7 @@
 
 use std::time::{Duration, Instant};
 
-use otf_bench::measure::Options;
+use otf_bench::measure::{pinned, Options};
 use otf_bench::table::Table;
 use otf_gc::{Gc, GcConfig, Mutator, ObjShape};
 use otf_support::hist::Snapshot;
@@ -111,7 +111,7 @@ fn run_case(
     let mut violations = 0usize;
     let mut failures = 0usize;
     for _rep in 0..o.reps.max(1) {
-        let mut gc = Gc::new(GcConfig::generational().with_alloc_shards(shards));
+        let mut gc = Gc::new(pinned(GcConfig::generational().with_alloc_shards(shards)));
         let t0 = Instant::now();
         let rep_failures: usize = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)

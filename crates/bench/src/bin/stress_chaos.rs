@@ -16,7 +16,11 @@
 //! A panic-containment schedule additionally kills the collector thread
 //! on its first cycle and requires allocators to surface
 //! [`CollectorUnavailable`](AllocError::CollectorUnavailable) within the
-//! bound.
+//! bound, and a recovery schedule kills the collector mid-trace with
+//! restarts enabled and requires the supervisor (DESIGN.md §4.8) to
+//! abort the cycle, respawn, and complete a subsequent full collection —
+//! reproducibly: the recovery schedule also runs twice with the same
+//! seed and must produce identical injection logs.
 //!
 //! Flags: `--seed N` (default 42) reseeds every plan — CI uses a fixed
 //! seed so failures reproduce with `stress_chaos --seed N`; `--quick`
@@ -189,11 +193,15 @@ fn check_panic_containment(seed: u64, bound: Duration) -> bool {
     fault::install(
         FaultPlan::new(seed).rule(FaultRule::at("collector.panic").failing(1.0).max_fires(1)),
     );
+    // Pin restarts to zero: this gate checks the *terminal* poison path,
+    // and the CI recovery cell exports OTF_GC_MAX_RESTARTS=3 which would
+    // otherwise turn the kill into a transparent restart.
     let gc = Gc::new(
         GcConfig::generational()
             .with_initial_heap(1 << 20)
             .with_max_heap(1 << 20)
-            .with_young_size(256 << 10),
+            .with_young_size(256 << 10)
+            .with_max_collector_restarts(0),
     );
     let mut m = gc.mutator();
     let shape = ObjShape::new(0, 6);
@@ -225,6 +233,97 @@ fn check_panic_containment(seed: u64, bound: Duration) -> bool {
     }
     gc.shutdown();
     ok
+}
+
+/// One round of the recovery gate: kill the collector at its trace
+/// phase (hit 4 of `collector.phase`: cycle-start, hs1, hs2, hs3,
+/// trace) with restarts enabled, then demand a completed full
+/// collection, no poison, and a clean heap.  Returns the observables
+/// the gate checks plus the injection log for the reproducibility
+/// comparison.
+fn recovery_round(seed: u64) -> (bool, u64, u64, usize, Vec<FaultEvent>) {
+    fault::install(
+        FaultPlan::new(seed).rule(
+            FaultRule::at("collector.phase")
+                .failing(1.0)
+                .after(4)
+                .max_fires(1),
+        ),
+    );
+    let mut gc = Gc::new(
+        GcConfig::generational()
+            .with_initial_heap(1 << 20)
+            .with_max_heap(8 << 20)
+            .with_young_size(64 << 10)
+            .with_max_collector_restarts(3)
+            .with_collector_restart_backoff_ms(1),
+    );
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(1, 2);
+    for i in 0..256u64 {
+        let r = m.alloc(&shape).expect("recovery gate alloc");
+        m.write_data(r, 0, i);
+        if i % 8 == 0 {
+            m.root_push(r);
+        }
+    }
+    // The first full dies mid-trace; the supervisor's abort re-arms it
+    // and the respawned collector serves this wait.
+    m.parked(|| gc.collect_full_blocking());
+    drop(m);
+    gc.stop_collector();
+    let violations = gc.verify_heap().len();
+    let stats = gc.shutdown();
+    let log = fault::uninstall();
+    (
+        stats.collector_poisoned,
+        stats.collector_restarts,
+        stats.cycles_aborted,
+        violations,
+        log,
+    )
+}
+
+/// Recovery gate: the supervisor must turn a mid-cycle collector panic
+/// into an aborted cycle plus a restart (never poison, never a hang,
+/// never a heap violation), and two same-seed runs must produce the
+/// identical injection log.
+fn check_recovery(seed: u64, bound: Duration) -> bool {
+    let mut logs: Vec<Vec<FaultEvent>> = Vec::new();
+    for round in 0..2 {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(recovery_round(seed));
+        });
+        let (poisoned, restarts, aborted, violations, log) = match rx.recv_timeout(bound) {
+            Ok(r) => r,
+            Err(_) => {
+                fault::uninstall();
+                eprintln!(
+                    "stress_chaos: recovery round {round}: HANG — no completion within {bound:?}"
+                );
+                return false;
+            }
+        };
+        if poisoned || restarts < 1 || aborted < 1 || violations != 0 || log.len() != 1 {
+            eprintln!(
+                "stress_chaos: recovery round {round}: poisoned={poisoned} restarts={restarts} \
+                 cycles_aborted={aborted} violations={violations} injections={}",
+                log.len()
+            );
+            return false;
+        }
+        logs.push(log);
+    }
+    if logs[0] != logs[1] {
+        eprintln!("stress_chaos: recovery: NON-REPRODUCIBLE — two runs with seed {seed} diverged");
+        return false;
+    }
+    println!(
+        "recovery: OK (cycle aborted, collector restarted, full completed; \
+         identical across two runs of seed {seed})"
+    );
+    true
 }
 
 fn main() {
@@ -307,13 +406,15 @@ fn main() {
 
     let repro_ok = check_reproducibility(seed, ops_scale);
     let panic_ok = check_panic_containment(seed, bound);
+    let recovery_ok = check_recovery(seed, bound);
 
     let matrix_ok = outcomes.iter().all(|o| o.ok);
-    if matrix_ok && repro_ok && panic_ok {
+    if matrix_ok && repro_ok && panic_ok && recovery_ok {
         println!("\nstress_chaos: all schedules clean");
     } else {
         eprintln!(
-            "\nstress_chaos: FAILURES (matrix {matrix_ok}, repro {repro_ok}, panic {panic_ok})"
+            "\nstress_chaos: FAILURES (matrix {matrix_ok}, repro {repro_ok}, \
+             panic {panic_ok}, recovery {recovery_ok})"
         );
         std::process::exit(1);
     }

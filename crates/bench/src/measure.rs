@@ -128,9 +128,20 @@ Options (every fig* binary accepts the same set):
     }
 }
 
+/// Pins a measured configuration against the collector-supervision env
+/// knobs: restarts are forced to zero so an exported
+/// `OTF_GC_MAX_RESTARTS` (the CI recovery cell) cannot leak into a
+/// benchmark process, and so a real collector panic mid-measurement
+/// fails loudly (permanent poison) instead of silently restarting and
+/// folding a recovery pause into the reported numbers.
+pub fn pinned(cfg: GcConfig) -> GcConfig {
+    cfg.with_max_collector_restarts(0)
+}
+
 /// Runs one copy of `workload` `reps` times; returns the run with the
 /// median elapsed time.
 pub fn median_run(w: &dyn Workload, cfg: GcConfig, o: &Options) -> RunResult {
+    let cfg = pinned(cfg);
     let mut runs: Vec<RunResult> = (0..o.reps.max(1))
         .map(|r| driver::run_workload(w, cfg, o.seed + r as u64))
         .collect();
@@ -141,6 +152,7 @@ pub fn median_run(w: &dyn Workload, cfg: GcConfig, o: &Options) -> RunResult {
 /// Runs `copies` concurrent copies `reps` times; returns the median batch
 /// elapsed time (the paper's multiprocessor measurement).
 pub fn median_copies(w: &dyn Workload, cfg: GcConfig, o: &Options) -> Duration {
+    let cfg = pinned(cfg);
     let mut times: Vec<Duration> = (0..o.reps.max(1))
         .map(|r| driver::run_copies(w, cfg, o.seed + r as u64, o.copies).0)
         .collect();

@@ -4,12 +4,15 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use otf_heap::Color;
 use otf_support::packet::Schedule;
 
 use crate::cycle::CycleCx;
-use crate::obs::dur_ns;
+use crate::lazy::LazyWho;
+use crate::obs::{dur_ns, EventKind};
 use crate::plan::CycleFrame;
-use crate::shared::GcShared;
+use crate::shared::{bucket, GcShared};
+use crate::state::Status;
 use crate::stats::{CycleKind, CycleStats};
 
 impl GcShared {
@@ -28,7 +31,11 @@ impl GcShared {
     /// out into its own slots.
     pub(crate) fn run_cycle(&self, kind: CycleKind, cx: &mut CycleCx) -> CycleStats {
         let cycle_start = Instant::now();
-        otf_support::fault::point("collector.phase");
+        // Chaos kill site 1 of 6 (cycle start, before any bucket opens);
+        // the remaining five fire from the schedule's bucket-open hooks.
+        if otf_support::fault::point("collector.phase") {
+            panic!("injected collector panic (phase: cycle-start)");
+        }
         cx.reset();
 
         let workers = self.config.gc_threads;
@@ -48,6 +55,8 @@ impl GcShared {
         cx.phases.sweep = sched.span(buckets.reclaim)
             + buckets.finalize.map_or(Duration::ZERO, |b| sched.span(b));
 
+        self.open_bucket
+            .store(crate::shared::bucket::NONE, Ordering::Release);
         self.collecting.store(false, Ordering::Release);
 
         let duration = cycle_start.elapsed();
@@ -165,13 +174,108 @@ impl GcShared {
             self.lazy_drain_between_cycles();
         }
     }
+
+    /// The safe cycle-abort protocol (DESIGN.md §4.8).  Called by the
+    /// supervisor after the collector loop panicked — whether from an
+    /// internal bug, an injected fault, or the watchdog's abort-cycle
+    /// escalation — and before the loop is respawned.  Rolls whatever
+    /// cycle was in flight forward to a no-op:
+    ///
+    /// 1. lowers `tracing` (the write barrier falls back to plain card
+    ///    marking);
+    /// 2. completes the in-flight handshake by fiat: `status_c` returns
+    ///    to `Async` and every mutator's status is forced to match, so
+    ///    no mutator is stranded mid-`Sync` waiting on a dead collector;
+    /// 3. waits (bounded) for write-barrier epochs to go even, then
+    ///    discards the gray queue — any entry a racing barrier pushes
+    ///    afterwards is harmless, because `mark_black` ignores entries
+    ///    whose granule is no longer gray;
+    /// 4. repaints every object granule to the *live* color
+    ///    ([`trace_target`](GcShared::trace_target): black for the
+    ///    generational plans, the allocation color for the baseline)
+    ///    with the same SWAR scan `InitFullCollection` uses.  Nothing is
+    ///    freed by an aborted cycle, so the worst outcome is floating
+    ///    garbage; the forced full collection below re-traces everything
+    ///    from roots, rebuilding real liveness (and, in the generational
+    ///    plans, the generations — its init pass demotes every black
+    ///    object before the toggle, restoring the "all pre-cycle objects
+    ///    carry the clear color" invariant the trace needs);
+    /// 5. force-finalizes any published lazy-sweep epoch (the schedule
+    ///    order guarantees its parameters predate the aborted cycle's
+    ///    toggle, so finalizing is exactly what the next cycle's
+    ///    `lazy-finalize` bucket would have done);
+    /// 6. clears the cycle-in-flight state and re-arms `Control` with a
+    ///    full-collection request, so allocators parked in
+    ///    `wait_for_full` are served by the restarted loop instead of
+    ///    poisoned, then replays `evaluate_triggers`.
+    ///
+    /// `restarts` is the restart ordinal this abort precedes (1-based),
+    /// recorded in the `RecoveryEnd` event.
+    pub(crate) fn abort_cycle(&self, restarts: u64) {
+        let t = Instant::now();
+        let open = self.open_bucket.load(Ordering::Acquire);
+        let had_cycle = open != bucket::NONE || self.collecting.load(Ordering::Acquire);
+        self.obs.event(EventKind::RecoveryBegin, open as u64, 0);
+
+        self.tracing.store(false, Ordering::Release);
+        self.status_c.store(Status::Async as u8, Ordering::Release);
+        let snapshot = self.mutators.lock().clone();
+        for m in &snapshot {
+            m.force_async();
+        }
+        self.notify_handshake();
+
+        // Give in-flight write barriers a moment to drain; proceeding
+        // past a wedged barrier is safe (see step 3 above), so the wait
+        // is bounded rather than a second place to hang.
+        let spin = Instant::now();
+        while !self.mutators_all_even() && spin.elapsed() < Duration::from_millis(10) {
+            std::thread::yield_now();
+        }
+        while self.gray.pop().is_some() {}
+
+        // Chaos window: a failing injection here models a panic *during*
+        // recovery (the double-panic path — the supervisor falls back to
+        // permanent poison).
+        if otf_support::fault::point("collector.recovery") {
+            panic!("injected collector panic (recovery window)");
+        }
+
+        let live = self.trace_target();
+        let colors = self.heap.colors();
+        let end = self.heap.frontier_granule();
+        let mut g = 1;
+        loop {
+            g = colors.next_color_above(g, end, Color::Interior);
+            if g >= end {
+                break;
+            }
+            colors.set(g, live);
+            g += 1;
+        }
+
+        self.lazy_finalize(LazyWho::Collector);
+
+        self.open_bucket.store(bucket::NONE, Ordering::Release);
+        self.collecting.store(false, Ordering::Release);
+        self.control.reset_for_recovery();
+        self.evaluate_triggers();
+
+        if had_cycle {
+            self.obs.cycles_aborted.fetch_add(1, Ordering::Relaxed);
+            self.obs.event(EventKind::CycleAborted, open as u64, 0);
+        }
+        let dur = dur_ns(t.elapsed());
+        self.obs.recovery.record(dur);
+        self.obs.event(EventKind::RecoveryEnd, restarts, dur);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::GcConfig;
-    use otf_heap::{Color, ObjShape, ObjectRef};
+    use otf_heap::{ObjShape, ObjectRef};
 
     fn setup(cfg: GcConfig) -> (GcShared, CycleCx) {
         let sh = GcShared::new(cfg.with_max_heap(1 << 20).with_initial_heap(1 << 20));
@@ -312,6 +416,75 @@ mod tests {
         sh.cards.mark_byte(parent.byte());
         sh.run_cycle(CycleKind::Full, &mut cx);
         assert!(!sh.cards.is_dirty(sh.cards.card_of_byte(parent.byte())));
+    }
+
+    #[test]
+    fn abort_cycle_restores_quiescent_protocol_state() {
+        let (sh, _cx) = setup(GcConfig::generational());
+        let live = alloc(&sh, 0);
+        sh.add_global_root(live);
+        let m = sh.register_mutator();
+        m.status.store(Status::Sync2 as u8, Ordering::Release);
+        // Surrogate for a panic mid-trace: tracing raised, cycle in
+        // flight, the trace bucket open, gray work queued.
+        sh.collecting.store(true, Ordering::Release);
+        sh.tracing.store(true, Ordering::Release);
+        sh.status_c.store(Status::Sync2 as u8, Ordering::Release);
+        sh.open_bucket.store(bucket::TRACE, Ordering::Release);
+        sh.mark_gray_snapshot(live);
+        assert!(!sh.gray.is_empty());
+
+        sh.abort_cycle(1);
+
+        assert!(!sh.tracing.load(Ordering::Acquire));
+        assert!(!sh.collecting.load(Ordering::Acquire));
+        assert_eq!(sh.status_c(), Status::Async);
+        assert_eq!(m.status(), Status::Async, "handshake completed by fiat");
+        assert!(sh.gray.is_empty());
+        assert_eq!(sh.open_bucket.load(Ordering::Acquire), bucket::NONE);
+        // Repainted to the live color (black in the generational plans).
+        assert_eq!(sh.heap.colors().get(live.granule()), Color::Black);
+        // A full collection was re-armed and the abort was counted.
+        assert!(sh.control.has_request());
+        assert_eq!(sh.obs.cycles_aborted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn abort_cycle_floats_garbage_and_forced_full_reclaims_it() {
+        for cfg in [GcConfig::generational(), GcConfig::non_generational()] {
+            let (sh, mut cx) = setup(cfg);
+            let live = alloc(&sh, 1);
+            let son = alloc(&sh, 0);
+            sh.heap.arena().store_ref_slot(live, 0, son);
+            let dead = alloc(&sh, 0);
+            sh.add_global_root(live);
+            sh.collecting.store(true, Ordering::Release);
+            sh.open_bucket.store(bucket::HANDSHAKE_1, Ordering::Release);
+
+            sh.abort_cycle(1);
+
+            // No object freed by an aborted cycle: the garbage floats.
+            assert!(sh.heap.colors().get(dead.granule()).is_object());
+            // The re-armed request is a *full* collection; running it
+            // rebuilds real liveness and reclaims the float.
+            assert_eq!(sh.control.next_request(), Some(CycleKind::Full));
+            sh.run_cycle(CycleKind::Full, &mut cx);
+            assert!(sh.heap.colors().get(live.granule()).is_object());
+            assert!(sh.heap.colors().get(son.granule()).is_object());
+            assert_eq!(sh.heap.colors().get(dead.granule()), Color::Free);
+            assert!(sh.verify_heap().is_empty());
+        }
+    }
+
+    #[test]
+    fn abort_cycle_between_cycles_counts_no_abort() {
+        let (sh, _cx) = setup(GcConfig::non_generational());
+        sh.abort_cycle(1);
+        // No cycle was in flight: nothing to count as aborted, but the
+        // conservative full request is still armed.
+        assert_eq!(sh.obs.cycles_aborted.load(Ordering::Relaxed), 0);
+        assert!(sh.control.has_request());
+        assert_eq!(sh.status_c(), Status::Async);
     }
 
     #[test]

@@ -154,6 +154,21 @@ impl Control {
         self.bytes_since_cycle.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    /// Cycle-abort recovery: drops any stale pending request and re-arms
+    /// a *full* collection in its place.  The aborted cycle conservatively
+    /// repainted the whole heap live, so only a full trace from roots can
+    /// rebuild real liveness — and because a pending full supersedes any
+    /// partial in [`next_request`](Control::next_request), the restarted
+    /// collector is guaranteed to run it first.  Allocators parked in
+    /// [`wait_for_full`](Control::wait_for_full) are then served by that
+    /// cycle's completion instead of being poisoned awake.
+    pub(crate) fn reset_for_recovery(&self) {
+        let mut p = self.pending.lock();
+        p.partial = false;
+        p.full = true;
+        self.wake.notify_all();
+    }
+
     /// Signals shutdown and wakes everything.
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);

@@ -261,6 +261,16 @@ impl GcShared {
     /// remaining segment, then waits for in-flight claimants (a mutator
     /// mid-segment) to finish.  Idempotent and safe to race with
     /// concurrent sweepers; a no-op in eager mode or between epochs.
+    ///
+    /// Abort-safety (DESIGN.md §4.8): the supervisor's cycle abort calls
+    /// this mid-recovery.  Any epoch open at that point was published by
+    /// the *previous completed* cycle — the schedule's `lazy-finalize`
+    /// bucket drains it before the aborted cycle's toggle, and the
+    /// reclaim bucket's kill site fires before `lazy_publish` — so its
+    /// sweep parameters (clear color, frontier) are still valid and
+    /// finalizing frees only granules that cycle proved dead.  Restarting
+    /// mid-epoch is therefore sound: recovery never sweeps under stale
+    /// parameters, it just finishes the old epoch eagerly.
     pub(crate) fn lazy_finalize(&self, who: LazyWho) {
         if !self.config.lazy_sweep || !self.lazy.active.load(Ordering::Acquire) {
             return;

@@ -80,7 +80,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-pub use config::{GcConfig, Mode, Promotion};
+pub use config::{GcConfig, Mode, Promotion, StallPolicy};
 pub use mutator::{AllocError, Mutator};
 pub use obs::{phase, EventKind, GcEvent};
 pub use stats::{CycleKind, CycleStats, GcStats, PhaseTimes, WorkerStats};
@@ -117,21 +117,7 @@ impl Gc {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("otf-gc-collector".into())
-                .spawn(move || {
-                    // Contain a collector panic: without this, mutators
-                    // parked on `wait_for_full` sleep forever on a
-                    // collection that will never complete.  The poisoned
-                    // state wakes them and turns further allocation
-                    // pressure into `AllocError::CollectorUnavailable`.
-                    let loop_shared = Arc::clone(&shared);
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                            loop_shared.collector_loop()
-                        }));
-                    if result.is_err() {
-                        shared.poison_after_panic();
-                    }
-                })
+                .spawn(move || supervise_collector(shared))
                 .expect("spawn collector thread")
         };
         Gc {
@@ -221,6 +207,9 @@ impl Gc {
             dropped_events: self.shared.obs.events_dropped(),
             watchdog_trips: self.shared.obs.watchdog_trips.load(Ordering::Relaxed),
             collector_poisoned: self.shared.control.is_poisoned(),
+            collector_restarts: self.shared.obs.collector_restarts.load(Ordering::Relaxed),
+            cycles_aborted: self.shared.obs.cycles_aborted.load(Ordering::Relaxed),
+            recovery: self.shared.obs.recovery.snapshot(),
             workers: self
                 .shared
                 .obs
@@ -374,5 +363,72 @@ impl Gc {
 impl Drop for Gc {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// The collector supervisor (DESIGN.md §4.8): the body of the
+/// `otf-gc-collector` thread.  Runs the collector loop under
+/// `catch_unwind`; on a panic it either poisons the GC permanently (the
+/// PR-4 behavior, kept verbatim when `max_collector_restarts == 0`, on
+/// shutdown, or once the restart budget is spent) or runs the safe
+/// cycle-abort protocol and respawns the loop after a capped exponential
+/// backoff.  A second panic *during* the abort is terminal: recovery
+/// must never itself become a crash loop, so the double-panic path falls
+/// back to the verified poison behavior.
+fn supervise_collector(shared: Arc<GcShared>) {
+    let max_restarts = shared.config.max_collector_restarts;
+    let backoff_ms = shared.config.collector_restart_backoff_ms;
+    let mut restarts: u32 = 0;
+    loop {
+        let loop_shared = Arc::clone(&shared);
+        let respawned = restarts > 0;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            // Chaos window: the respawn itself can be killed (the
+            // `collector.recovery` point's first hit is the abort-repaint
+            // window inside `abort_cycle`; later hits land here, in the
+            // fresh incarnation, still inside this `catch_unwind`).
+            if respawned && otf_support::fault::point("collector.recovery") {
+                panic!("injected collector panic (respawn window)");
+            }
+            loop_shared.collector_loop()
+        }));
+        match result {
+            // Clean exit: shutdown (or poison) ended the request loop.
+            Ok(()) => return,
+            Err(_) => {
+                if shared.control.is_shutdown() || restarts >= max_restarts {
+                    shared.poison_after_panic();
+                    return;
+                }
+                // Safe cycle abort.  Without this, mutators parked on
+                // `wait_for_full` would sleep forever on a collection
+                // that will never complete and the heap would be left
+                // with a half-run cycle's colors.
+                let abort_shared = Arc::clone(&shared);
+                let next = restarts as u64 + 1;
+                let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    abort_shared.abort_cycle(next);
+                }));
+                if aborted.is_err() {
+                    shared.poison_after_panic();
+                    return;
+                }
+                shared
+                    .obs
+                    .collector_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+                let delay = backoff_ms
+                    .saturating_mul(1u64 << restarts.min(10))
+                    .min(1_000);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                restarts += 1;
+                eprintln!(
+                    "otf-gc: collector thread panicked; cycle aborted, \
+                     restarting collector (attempt {restarts} of {max_restarts})"
+                );
+            }
+        }
     }
 }

@@ -105,6 +105,19 @@ pub enum EventKind {
     /// Sweep progress.  `a` = granules processed so far, `b` = the
     /// frontier granule (total to process).
     SweepProgress = 7,
+    /// The collector supervisor caught a panic and began the safe
+    /// cycle-abort + restart protocol (DESIGN.md §4.8).  `a` = the open
+    /// schedule bucket when the panic unwound (see
+    /// [`bucket_label`](crate::shared::bucket_label); 0 = none).
+    RecoveryBegin = 8,
+    /// Recovery finished and the collector is about to respawn.  `a` =
+    /// restarts consumed so far (including this one), `b` = recovery
+    /// duration in nanoseconds.
+    RecoveryEnd = 9,
+    /// A collection cycle was aborted mid-flight and rolled forward to a
+    /// no-op (garbage floats; nothing was freed).  `a` = the open bucket
+    /// when the cycle died (0 = none).
+    CycleAborted = 10,
 }
 
 impl EventKind {
@@ -117,6 +130,9 @@ impl EventKind {
             4 => EventKind::HandshakePost,
             5 => EventKind::HandshakeAck,
             6 => EventKind::CardClear,
+            8 => EventKind::RecoveryBegin,
+            9 => EventKind::RecoveryEnd,
+            10 => EventKind::CycleAborted,
             _ => EventKind::SweepProgress,
         }
     }
@@ -131,6 +147,9 @@ impl EventKind {
             EventKind::HandshakeAck => "handshake_ack",
             EventKind::CardClear => "card_clear",
             EventKind::SweepProgress => "sweep_progress",
+            EventKind::RecoveryBegin => "recovery_begin",
+            EventKind::RecoveryEnd => "recovery_end",
+            EventKind::CycleAborted => "cycle_aborted",
         }
     }
 }
@@ -195,6 +214,15 @@ impl GcEvent {
             EventKind::CardClear => format!(",\"dirty\":{},\"scanned\":{}}}", self.a, self.b),
             EventKind::SweepProgress => {
                 format!(",\"granules\":{},\"frontier\":{}}}", self.a, self.b)
+            }
+            EventKind::RecoveryBegin => {
+                format!(",\"bucket\":\"{}\"}}", crate::shared::bucket_label(self.a))
+            }
+            EventKind::RecoveryEnd => {
+                format!(",\"restarts\":{},\"dur_ns\":{}}}", self.a, self.b)
+            }
+            EventKind::CycleAborted => {
+                format!(",\"bucket\":\"{}\"}}", crate::shared::bucket_label(self.a))
             }
         };
         head + &tail
@@ -329,6 +357,15 @@ pub(crate) struct Obs {
     /// configured threshold and the collector reported instead of hanging
     /// silently.
     pub watchdog_trips: AtomicU64,
+    /// Times the supervisor respawned the collector thread after a panic
+    /// (DESIGN.md §4.8).
+    pub collector_restarts: AtomicU64,
+    /// Collection cycles that were aborted mid-flight and rolled forward
+    /// to a no-op by the safe abort protocol.
+    pub cycles_aborted: AtomicU64,
+    /// Duration of each safe cycle-abort (handshake restore + repaint +
+    /// epoch finalize), in nanoseconds.
+    pub recovery: Histogram,
     /// Per-worker phase histograms and steal counters, one per
     /// configured GC thread.
     pub workers: Vec<WorkerObs>,
@@ -352,6 +389,9 @@ impl Obs {
             lab_refill: Histogram::new(),
             barrier_slow: AtomicU64::new(0),
             watchdog_trips: AtomicU64::new(0),
+            collector_restarts: AtomicU64::new(0),
+            cycles_aborted: AtomicU64::new(0),
+            recovery: Histogram::new(),
             workers: (0..gc_threads.max(1)).map(|_| WorkerObs::new()).collect(),
             enabled,
             start: Instant::now(),
@@ -559,6 +599,23 @@ mod tests {
         assert!(lines[0].contains("\"status\":\"sync2\""));
         assert!(lines[1].contains("\"latency_ns\":"));
         assert!(lines[2].contains("\"dirty\":5"));
+    }
+
+    #[test]
+    fn recovery_events_round_trip() {
+        let obs = Obs::new(true, 1);
+        obs.event(EventKind::RecoveryBegin, 6, 0);
+        obs.event(EventKind::CycleAborted, 6, 0);
+        obs.event(EventKind::RecoveryEnd, 1, 1234);
+        let evs = obs.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, EventKind::RecoveryBegin);
+        assert_eq!(evs[1].kind, EventKind::CycleAborted);
+        assert_eq!(evs[2].kind, EventKind::RecoveryEnd);
+        assert!(evs[0].to_json().contains("\"ev\":\"recovery_begin\""));
+        assert!(evs[1].to_json().contains("\"bucket\":\"trace\""));
+        assert!(evs[2].to_json().contains("\"restarts\":1"));
+        assert!(evs[2].to_json().contains("\"dur_ns\":1234"));
     }
 
     #[test]

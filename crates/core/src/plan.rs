@@ -49,7 +49,7 @@ use crate::config::{Mode, Promotion};
 use crate::cycle::CycleCx;
 use crate::lazy::LazyWho;
 use crate::obs::{dur_ns, phase, EventKind};
-use crate::shared::GcShared;
+use crate::shared::{bucket, GcShared};
 use crate::state::Status;
 use crate::stats::CycleKind;
 
@@ -380,6 +380,10 @@ impl GcShared {
         // (its residual time is attributed to the sweep phase).
         let finalize = if self.config.lazy_sweep {
             let b = sched.add_serial_bucket("lazy-finalize");
+            sched.on_open(b, move || {
+                self.open_bucket
+                    .store(bucket::LAZY_FINALIZE, Ordering::Release);
+            });
             sched.enqueue(b, LazyFinalize { sh: self });
             Some(b)
         } else {
@@ -389,6 +393,7 @@ impl GcShared {
         // ----- clear (Figure 2/5: "clear: If (full collection) Init...")
         let init = sched.add_serial_bucket("init");
         sched.on_open(init, move || {
+            self.open_bucket.store(bucket::INIT, Ordering::Release);
             self.collecting.store(true, Ordering::Release);
             self.obs.note_cycle_begin(kind);
             frame
@@ -431,7 +436,12 @@ impl GcShared {
         // ----- first handshake -----------------------------------------
         let hs1 = sched.add_serial_bucket("handshake-1");
         sched.on_open(hs1, move || {
-            fault::point("collector.phase");
+            self.open_bucket
+                .store(bucket::HANDSHAKE_1, Ordering::Release);
+            // Chaos kill site 2 of 6.
+            if fault::point("collector.phase") {
+                panic!("injected collector panic (phase: handshake-1)");
+            }
             self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         });
         sched.enqueue(
@@ -455,7 +465,12 @@ impl GcShared {
         // any phase in the event ring).
         let hs2 = sched.add_serial_bucket("handshake-2");
         sched.on_open(hs2, move || {
-            fault::point("collector.phase");
+            self.open_bucket
+                .store(bucket::HANDSHAKE_2, Ordering::Release);
+            // Chaos kill site 3 of 6.
+            if fault::point("collector.phase") {
+                panic!("injected collector panic (phase: handshake-2)");
+            }
             self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         });
         sched.enqueue(
@@ -511,6 +526,13 @@ impl GcShared {
         // ----- third handshake: root marking ---------------------------
         let hs3 = sched.add_serial_bucket("handshake-3");
         sched.on_open(hs3, move || {
+            self.open_bucket
+                .store(bucket::HANDSHAKE_3, Ordering::Release);
+            // Chaos kill site 4 of 6 — after the toggle, before tracing
+            // is raised: the abort repaint must be sound here too.
+            if fault::point("collector.phase") {
+                panic!("injected collector panic (phase: handshake-3)");
+            }
             self.obs.event(EventKind::PhaseBegin, phase::HANDSHAKE, 0);
         });
         sched.enqueue(
@@ -564,7 +586,11 @@ impl GcShared {
         let b = sched.add_bucket("trace");
         if cycle_events {
             sched.on_open(b, move || {
-                fault::point("collector.phase");
+                self.open_bucket.store(bucket::TRACE, Ordering::Release);
+                // Chaos kill site 5 of 6.
+                if fault::point("collector.phase") {
+                    panic!("injected collector panic (phase: trace)");
+                }
                 self.obs.event(EventKind::PhaseBegin, phase::TRACE, 0);
             });
         }
@@ -636,7 +662,12 @@ impl GcShared {
         let b = sched.add_bucket("reclaim");
         if cycle_events {
             sched.on_open(b, move || {
-                fault::point("collector.phase");
+                self.open_bucket.store(bucket::RECLAIM, Ordering::Release);
+                // Chaos kill site 6 of 6 — before the sweep frees (or the
+                // lazy epoch publishes) anything.
+                if fault::point("collector.phase") {
+                    panic!("injected collector panic (phase: reclaim)");
+                }
                 self.obs.event(EventKind::PhaseBegin, phase::SWEEP, 0);
             });
         }

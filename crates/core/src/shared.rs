@@ -9,12 +9,42 @@ use otf_heap::{CardTable, Color, HeapSpace, ObjectRef};
 use otf_support::queue::SegQueue;
 use otf_support::sync::{Condvar, Mutex};
 
-use crate::config::GcConfig;
+use crate::config::{GcConfig, StallPolicy};
 use crate::control::Control;
 use crate::lazy::LazySweep;
 use crate::obs::Obs;
 use crate::state::{ColorState, MutatorShared, Status};
 use crate::stats::CycleStats;
+
+/// Codes for the cycle bucket currently open, published in
+/// [`GcShared::open_bucket`] so the supervisor's abort routine and the
+/// watchdog's stall reports can name where a cycle was interrupted.
+/// `0` means no bucket is open (no cycle in flight).
+pub(crate) mod bucket {
+    pub const NONE: u8 = 0;
+    pub const LAZY_FINALIZE: u8 = 1;
+    pub const INIT: u8 = 2;
+    pub const HANDSHAKE_1: u8 = 3;
+    pub const HANDSHAKE_2: u8 = 4;
+    pub const HANDSHAKE_3: u8 = 5;
+    pub const TRACE: u8 = 6;
+    pub const RECLAIM: u8 = 7;
+}
+
+/// Human-readable name for an [`bucket`] code (also used by the event
+/// ring's JSON rendering, which carries the code as a `u64` payload).
+pub(crate) fn bucket_label(code: u64) -> &'static str {
+    match code as u8 {
+        bucket::LAZY_FINALIZE => "lazy-finalize",
+        bucket::INIT => "init",
+        bucket::HANDSHAKE_1 => "handshake-1",
+        bucket::HANDSHAKE_2 => "handshake-2",
+        bucket::HANDSHAKE_3 => "handshake-3",
+        bucket::TRACE => "trace",
+        bucket::RECLAIM => "reclaim",
+        _ => "none",
+    }
+}
 
 #[derive(Debug, Default)]
 pub(crate) struct StatsInner {
@@ -35,6 +65,11 @@ pub(crate) struct GcShared {
     pub tracing: AtomicBool,
     /// True while any collection cycle is in progress.
     pub collecting: AtomicBool,
+    /// The [`bucket`] code of the schedule bucket currently open (0 =
+    /// none).  Written by the cycle schedule's open hooks; read by the
+    /// watchdog (report enrichment) and the supervisor's abort routine
+    /// (which bucket the panic unwound out of).
+    pub open_bucket: AtomicU8,
     /// The gray-object work queue.  Mutators push after winning the
     /// gray-coloring CAS; only the collector pops.
     pub gray: SegQueue<ObjectRef>,
@@ -87,6 +122,7 @@ impl GcShared {
             status_c: AtomicU8::new(Status::Async as u8),
             tracing: AtomicBool::new(false),
             collecting: AtomicBool::new(false),
+            open_bucket: AtomicU8::new(bucket::NONE),
             gray: SegQueue::new(),
             mutators: Mutex::new(Vec::new()),
             next_mutator_id: AtomicU64::new(1),
@@ -263,15 +299,19 @@ impl GcShared {
         let snapshot: Vec<Arc<MutatorShared>> = self.mutators.lock().clone();
         // Watchdog state: after `stall` without full adoption, name the
         // non-cooperating mutators instead of hanging silently, then keep
-        // waiting (re-reporting each further `stall` interval) — the
-        // protocol cannot proceed without the ack, but the hang is now
-        // attributed.
+        // waiting — the protocol cannot proceed without the ack, but the
+        // hang is now attributed.  Repeat reports are rate-limited
+        // (spacing doubles each time) and escalate per
+        // `handshake_stall_policy`: warn → trace-dump → abort-cycle (the
+        // third report panics into the supervisor, which runs the safe
+        // cycle abort and restarts the collector).
         let started = Instant::now();
         let stall = match self.config.handshake_stall_ms {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         };
         let mut next_report = stall;
+        let mut reports = 0u32;
         loop {
             otf_support::fault::point("collector.handshake.wait");
             let mut all_responded = true;
@@ -298,8 +338,25 @@ impl GcShared {
             if let Some(at) = next_report {
                 let waited = started.elapsed();
                 if waited >= at {
-                    self.report_handshake_stall(&snapshot, target, waited);
-                    next_report = stall.map(|s| at + s);
+                    reports += 1;
+                    self.report_handshake_stall(&snapshot, target, waited, reports);
+                    if reports >= 3 && self.config.handshake_stall_policy == StallPolicy::AbortCycle
+                    {
+                        // Unwind into the supervisor, which aborts the
+                        // wedged cycle and restarts the collector loop —
+                        // a bounded degradation instead of a diagnosed
+                        // hang.  With restarts disabled this degrades to
+                        // the verified poison path.
+                        panic!(
+                            "otf-gc watchdog: aborting wedged collection cycle \
+                             (handshake to status {:?} stalled for {:?})",
+                            Status::from_byte(target),
+                            waited,
+                        );
+                    }
+                    // Rate limit: double the spacing after every report
+                    // so a long stall logs O(log t) lines, not O(t).
+                    next_report = stall.map(|s| at + s * (1u32 << reports.min(16)));
                 }
             }
             // Sleep until a mutator responds.  The status re-check under
@@ -317,13 +374,16 @@ impl GcShared {
     }
 
     /// Watchdog report: which mutators have not acked the posted status
-    /// after `waited`, on stderr, plus the event-trace ring (when tracing
-    /// is on) for a timeline of how the cycle got here.
+    /// after `waited`, on stderr, attributed to the active plan and the
+    /// schedule bucket that is currently open.  The event-trace ring is
+    /// dumped when tracing is on, or from the second report of a stall
+    /// under the `TraceDump`/`AbortCycle` escalation policies.
     fn report_handshake_stall(
         &self,
         snapshot: &[Arc<MutatorShared>],
         target: u8,
         waited: Duration,
+        nth: u32,
     ) {
         self.obs.watchdog_trips.fetch_add(1, Ordering::Relaxed);
         let stalled: Vec<u64> = snapshot
@@ -332,14 +392,18 @@ impl GcShared {
             .map(|m| m.id)
             .collect();
         eprintln!(
-            "otf-gc watchdog: handshake to status {:?} stalled for {:?}; \
+            "otf-gc watchdog: handshake to status {:?} stalled for {:?} \
+             (report #{nth}, plan {}, open bucket {}); \
              unresponsive mutator ids: {:?} (of {} registered)",
             Status::from_byte(target),
             waited,
+            self.config.plan_name(),
+            bucket_label(self.open_bucket.load(Ordering::Acquire) as u64),
             stalled,
             snapshot.len(),
         );
-        if self.obs.tracing_enabled() {
+        let escalate_dump = nth >= 2 && self.config.handshake_stall_policy != StallPolicy::Warn;
+        if self.obs.tracing_enabled() || escalate_dump {
             eprintln!("otf-gc watchdog: event-trace ring follows");
             let _ = self.obs.write_jsonl(&mut std::io::stderr().lock());
         }
@@ -355,6 +419,7 @@ impl GcShared {
     pub(crate) fn poison_after_panic(&self) {
         self.tracing.store(false, Ordering::Release);
         self.collecting.store(false, Ordering::Release);
+        self.open_bucket.store(bucket::NONE, Ordering::Release);
         self.status_c.store(Status::Async as u8, Ordering::Release);
         self.control.poison();
         self.notify_handshake();

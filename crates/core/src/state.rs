@@ -132,6 +132,18 @@ impl MutatorShared {
         Status::from_byte(self.status.load(Ordering::Acquire))
     }
 
+    /// Recovery: force-adopts `Async` on the mutator's behalf.  Used by
+    /// the supervisor's cycle abort to complete an in-flight handshake by
+    /// fiat — the collector that posted it is gone, so waiting for a
+    /// voluntary ack could hang on a mutator that is itself parked on
+    /// the aborted collection.  Safe at any point: a mutator that still
+    /// holds a stale `Sync` view acts more conservatively than `Async`
+    /// requires (its barrier grays both young colors), which at worst
+    /// floats garbage into the next cycle.
+    pub fn force_async(&self) {
+        self.status.store(Status::Async as u8, Ordering::Release);
+    }
+
     /// Enters a gray-producing region (write barrier / root marking).
     #[inline]
     pub fn epoch_enter(&self) {

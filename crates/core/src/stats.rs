@@ -175,8 +175,22 @@ pub struct GcStats {
     pub watchdog_trips: u64,
     /// Whether the collector thread has panicked (poisoned shutdown):
     /// no further collection will run; allocation continues in grow-only
-    /// mode and fails with `AllocError::CollectorUnavailable`.
+    /// mode and fails with `AllocError::CollectorUnavailable`.  With
+    /// [`GcConfig::max_collector_restarts`](crate::GcConfig) > 0 a panic
+    /// only poisons once the restart budget is exhausted (or the abort
+    /// protocol itself panics); until then the supervisor recovers and
+    /// this stays `false`.
     pub collector_poisoned: bool,
+    /// Times the supervisor respawned the collector thread after a panic
+    /// (bounded by `GcConfig::max_collector_restarts`; DESIGN.md §4.8).
+    pub collector_restarts: u64,
+    /// Collection cycles aborted mid-flight by the safe abort protocol
+    /// and rolled forward to a no-op.  An aborted cycle frees nothing —
+    /// its garbage floats to the next completed collection.
+    pub cycles_aborted: u64,
+    /// Histogram of safe cycle-abort durations (handshake restore +
+    /// live repaint + lazy-epoch finalization), in nanoseconds.
+    pub recovery: Snapshot,
     /// Per-collector-worker statistics (one entry per configured GC
     /// thread, §4.4).  Worker 0 is the collector thread itself; at
     /// `gc_threads = 1` this is a single entry with zero steals.

@@ -105,6 +105,12 @@ pub struct FaultRule {
     pub yield_p: f64,
     /// Maximum number of hits allowed to fire (further hits are no-ops).
     pub max_fires: u64,
+    /// Hits with index `< after` never fire (the decision function is
+    /// not consulted).  Combined with `max_fires`, this pins a rule to an
+    /// exact window of hits — e.g. `.failing(1.0).after(3).max_fires(1)`
+    /// fires precisely at the fourth hit of the point, which is how the
+    /// chaos suite kills the collector at one chosen phase of a cycle.
+    pub after: u64,
 }
 
 impl FaultRule {
@@ -118,6 +124,7 @@ impl FaultRule {
             max_delay_us: 100,
             yield_p: 0.0,
             max_fires: u64::MAX,
+            after: 0,
         }
     }
 
@@ -143,6 +150,12 @@ impl FaultRule {
     /// Caps how many hits of this point may fire.
     pub fn max_fires(mut self, n: u64) -> FaultRule {
         self.max_fires = n;
+        self
+    }
+
+    /// Skips the first `n` hits of this point (they never fire).
+    pub fn after(mut self, n: u64) -> FaultRule {
+        self.after = n;
         self
     }
 }
@@ -332,6 +345,9 @@ fn point_slow(name: &'static str) -> bool {
     let rule = &active.plan.rules[idx];
     let st = &active.states[idx];
     let k = st.hits.fetch_add(1, Ordering::Relaxed);
+    if k < rule.after {
+        return false;
+    }
     let Some(action) = decide(active.plan.seed, st.name_hash, k, rule) else {
         return false;
     };
@@ -431,6 +447,20 @@ mod tests {
         let log = uninstall();
         assert_eq!(fired, 3);
         assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn after_skips_leading_hits() {
+        let _g = exclusive();
+        install(
+            FaultPlan::new(5).rule(FaultRule::at("t.after").failing(1.0).after(3).max_fires(1)),
+        );
+        let fired: Vec<bool> = (0..6).map(|_| point("t.after")).collect();
+        let log = uninstall();
+        assert_eq!(fired, [false, false, false, true, false, false]);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].hit, 3);
+        assert_eq!(log[0].action, FaultAction::Fail);
     }
 
     #[test]

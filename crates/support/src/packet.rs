@@ -37,7 +37,7 @@
 //!   returns the same sample afterwards, so phase attribution and trace
 //!   events cannot disagree about a phase's duration.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::steal::WorkerDeque;
@@ -103,6 +103,12 @@ pub struct Schedule<'s, Cx> {
     current: AtomicUsize,
     /// Serializes bucket transitions and drained-hook evaluation.
     advance: Mutex<()>,
+    /// Set when any worker unwinds out of [`Schedule::drive`] — a packet
+    /// or hook panicked.  The surviving workers stop driving so the
+    /// panic can propagate out of [`Schedule::run`]'s thread scope
+    /// (instead of deadlocking behind the dead worker's abandoned
+    /// bucket), where the collector's supervisor can catch it.
+    failed: AtomicBool,
 }
 
 impl<'s, Cx: Send + 's> Schedule<'s, Cx> {
@@ -113,6 +119,7 @@ impl<'s, Cx: Send + 's> Schedule<'s, Cx> {
             buckets: Vec::new(),
             current: AtomicUsize::new(0),
             advance: Mutex::new(()),
+            failed: AtomicBool::new(false),
         }
     }
 
@@ -219,9 +226,39 @@ impl<'s, Cx: Send + 's> Schedule<'s, Cx> {
     }
 
     /// Worker loop: drain the open bucket, advance when provably done.
+    ///
+    /// Panic-safe: an unwinding worker releases its in-flight slot and
+    /// raises [`Schedule::failed`] so its peers return instead of
+    /// spinning on a bucket that can no longer drain.  A panicking
+    /// packet therefore surfaces from [`Schedule::run`] — rethrown by
+    /// the thread scope if it died on a helper — rather than wedging
+    /// the schedule, which is what the collector's supervisor needs to
+    /// catch it and abort the cycle.
     fn drive(&self, worker: usize, cx: &mut Cx) {
+        /// Flags the schedule failed if dropped during a panic.
+        struct FailFlag<'f>(&'f AtomicBool);
+        impl Drop for FailFlag<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        /// Releases an in-flight slot on every exit path, unwind
+        /// included: a leaked slot would make "queue empty ∧
+        /// `in_flight` = 0" unsatisfiable forever.
+        struct InFlight<'f>(&'f AtomicUsize);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _fail = FailFlag(&self.failed);
         let mut backoff = Backoff::new();
         loop {
+            if self.failed.load(Ordering::SeqCst) {
+                return;
+            }
             let b = self.current.load(Ordering::SeqCst);
             if b >= self.buckets.len() {
                 return;
@@ -238,8 +275,9 @@ impl<'s, Cx: Send + 's> Schedule<'s, Cx> {
             // FIFO end: packets run in enqueue order when serial.
             match bucket.queue.steal() {
                 Some(p) => {
+                    let _slot = InFlight(&bucket.in_flight);
                     p.run(worker, cx, self);
-                    bucket.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    drop(_slot);
                     backoff.reset();
                 }
                 None => {
@@ -361,6 +399,48 @@ mod tests {
         fn run(self: Box<Self>, _w: usize, _cx: &mut Tally, _s: &Schedule<'s, Tally>) {
             self.log.lock().push(self.tag);
         }
+    }
+
+    /// A packet that panics when run.
+    struct Boom;
+    impl<'s> Packet<'s, Tally> for Boom {
+        fn name(&self) -> &'static str {
+            "boom"
+        }
+        fn run(self: Box<Self>, _w: usize, _cx: &mut Tally, _s: &Schedule<'s, Tally>) {
+            panic!("injected packet panic");
+        }
+    }
+
+    /// Whichever worker takes the poisoned packet, the panic must
+    /// surface from `run` (rethrown by the thread scope if a helper
+    /// died) while the surviving workers stop driving — not deadlock
+    /// behind the dead worker's leaked in-flight slot.
+    #[test]
+    fn panicking_packet_propagates_instead_of_wedging_the_pool() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for _ in 0..8 {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let mut sched: Schedule<Tally> = Schedule::new();
+            let b = sched.add_bucket("work");
+            for _ in 0..4 {
+                sched.enqueue(
+                    b,
+                    Count {
+                        hits: Arc::clone(&hits),
+                    },
+                );
+            }
+            sched.enqueue(b, Boom);
+            let mut main = Tally::default();
+            let mut helpers = [Tally::default(), Tally::default(), Tally::default()];
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sched.run(&mut main, &mut helpers);
+            }));
+            assert!(r.is_err(), "packet panic must escape the schedule");
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

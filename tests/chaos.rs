@@ -176,11 +176,15 @@ fn panicked_collector_unblocks_allocators_with_collector_unavailable() {
     fault::install(
         FaultPlan::new(1).rule(FaultRule::at("collector.panic").failing(1.0).max_fires(1)),
     );
+    // Restarts pinned to 0: this test asserts the PR-4 permanent-poison
+    // behavior, which `max_collector_restarts = 0` preserves byte-for-byte
+    // (the CI restart cell sets OTF_GC_MAX_RESTARTS=3 process-wide).
     let gc = Gc::new(
         GcConfig::generational()
             .with_initial_heap(1 << 20)
             .with_max_heap(1 << 20)
-            .with_young_size(256 << 10),
+            .with_young_size(256 << 10)
+            .with_max_collector_restarts(0),
     );
     let mut m = gc.mutator();
     let shape = ObjShape::new(0, 6);
@@ -220,6 +224,231 @@ fn panicked_collector_unblocks_allocators_with_collector_unavailable() {
     assert!(gc.is_poisoned());
     let stats = gc.shutdown();
     assert!(stats.collector_poisoned);
+}
+
+/// One cell of the recovery matrix: inject a collector panic at phase
+/// hit `k` of the first cycle (the `collector.phase` point fires in a
+/// fixed order per cycle: cycle-start, handshake-1, handshake-2,
+/// handshake-3, trace, reclaim), then assert the supervisor recovered —
+/// not poisoned, ≥ 1 restart, the blocking full collection completed,
+/// retained objects intact, and the heap verifying clean.
+fn kill_at_phase_and_recover(cfg: GcConfig, k: u64) {
+    fault::install(
+        FaultPlan::new(0xFA11).rule(
+            FaultRule::at("collector.phase")
+                .failing(1.0)
+                .after(k)
+                .max_fires(1),
+        ),
+    );
+    let mut gc = Gc::new(
+        cfg.with_initial_heap(1 << 20)
+            .with_max_heap(8 << 20)
+            .with_young_size(64 << 10)
+            .with_max_collector_restarts(3)
+            .with_collector_restart_backoff_ms(1),
+    );
+    let mut m = gc.mutator();
+    let shape = ObjShape::new(1, 2);
+    let mut retained = Vec::new();
+    for i in 0..256u64 {
+        let r = m.alloc(&shape).expect("allocation before the kill");
+        m.write_data(r, 0, i);
+        if i % 8 == 0 {
+            m.root_push(r);
+            retained.push((r, i));
+        }
+    }
+    // The first cycle dies at phase `k`; the abort re-arms a full
+    // collection, and the restarted loop's completion of it serves this
+    // wait — recovery is transparent to blocked callers.
+    m.parked(|| gc.collect_full_blocking());
+    let log = fault::uninstall();
+
+    let label = format!("plan {} k={k}", gc.config().plan_name(),);
+    assert_eq!(log.len(), 1, "{label}: expected exactly one injected panic");
+    for &(r, v) in &retained {
+        assert!(gc.debug_is_object(r), "{label}: retained object freed");
+        assert_eq!(m.read_data(r, 0), v, "{label}: retained data corrupted");
+    }
+    let stats = gc.stats();
+    assert!(
+        !stats.collector_poisoned,
+        "{label}: poisoned despite budget"
+    );
+    assert!(
+        stats.collector_restarts >= 1,
+        "{label}: no restart recorded"
+    );
+    if k > 0 {
+        // k = 0 dies before any bucket opens (no cycle in flight yet),
+        // so only the later sites count as an aborted *cycle*.
+        assert!(stats.cycles_aborted >= 1, "{label}: no abort recorded");
+    }
+    drop(m);
+    gc.stop_collector();
+    let violations = gc.verify_heap();
+    assert!(
+        violations.is_empty(),
+        "{label}: heap violations after recovery: {violations:?}"
+    );
+    let stats = gc.shutdown();
+    assert!(!stats.collector_poisoned, "{label}: poisoned at shutdown");
+}
+
+/// The recovery matrix (tentpole acceptance): a collector panic at each
+/// of the six phases, for gen and nogen, eager and lazy sweep, N=1 and
+/// N=4 workers, must end unpoisoned with ≥ 1 restart, a completed
+/// subsequent full collection, and zero `verify_heap` violations.
+#[test]
+fn collector_panic_at_every_phase_recovers_under_restarts() {
+    let _serial = fault::exclusive();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for base in [GcConfig::generational, GcConfig::non_generational] {
+        for lazy in [false, true] {
+            for threads in [1usize, 4] {
+                for k in 0..6u64 {
+                    let cfg = base().with_lazy_sweep(lazy).with_gc_threads(threads);
+                    kill_at_phase_and_recover(cfg, k);
+                }
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+}
+
+/// A kill in the *respawn* window (the `collector.recovery` point's
+/// second hit — the first is the abort-repaint window) costs one more
+/// restart but still recovers: the fresh incarnation panics inside the
+/// supervisor's `catch_unwind`, is aborted again, and the next respawn
+/// completes the re-armed full collection.
+#[test]
+fn respawn_window_kill_consumes_an_extra_restart() {
+    let _serial = fault::exclusive();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    fault::install(
+        FaultPlan::new(3)
+            .rule(FaultRule::at("collector.phase").failing(1.0).max_fires(1))
+            .rule(
+                FaultRule::at("collector.recovery")
+                    .failing(1.0)
+                    .after(1)
+                    .max_fires(1),
+            ),
+    );
+    let gc = Gc::new(
+        GcConfig::generational()
+            .with_young_size(64 << 10)
+            .with_max_collector_restarts(3)
+            .with_collector_restart_backoff_ms(1),
+    );
+    gc.collect_full_blocking();
+    let log = fault::uninstall();
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(log.len(), 2, "phase kill + respawn kill: {log:?}");
+    let stats = gc.stats();
+    assert!(!stats.collector_poisoned);
+    assert!(
+        stats.collector_restarts >= 2,
+        "respawn kill must consume a second restart: {}",
+        stats.collector_restarts
+    );
+    let mut gc = gc;
+    gc.stop_collector();
+    assert!(gc.verify_heap().is_empty());
+    gc.shutdown();
+}
+
+/// Double-panic regression (satellite): a panic *during* the abort
+/// protocol (the `collector.recovery` point's first hit) must fall back
+/// to the PR-4 permanent poison — no recovery loop, no restart counted,
+/// and shutdown still joins cleanly.
+#[test]
+fn panic_during_abort_falls_back_to_permanent_poison() {
+    let _serial = fault::exclusive();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    fault::install(
+        FaultPlan::new(5)
+            .rule(FaultRule::at("collector.phase").failing(1.0).max_fires(1))
+            .rule(
+                FaultRule::at("collector.recovery")
+                    .failing(1.0)
+                    .max_fires(1),
+            ),
+    );
+    let gc = Gc::new(
+        GcConfig::generational()
+            .with_max_collector_restarts(3)
+            .with_collector_restart_backoff_ms(1),
+    );
+    gc.request_full();
+    let start = Instant::now();
+    while !gc.is_poisoned() && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let log = fault::uninstall();
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(log.len(), 2, "phase kill + abort kill: {log:?}");
+    assert!(gc.is_poisoned(), "double panic must poison permanently");
+    let stats = gc.shutdown();
+    assert!(stats.collector_poisoned);
+    assert_eq!(
+        stats.collector_restarts, 0,
+        "a failed abort must not count as a restart"
+    );
+}
+
+/// Watchdog escalation (tentpole): under the `AbortCycle` stall policy a
+/// wedged handshake is aborted after three reports instead of hanging —
+/// the cycle is counted aborted, the collector restarts, and once the
+/// mutator cooperates again the re-armed full collection completes.
+#[test]
+fn watchdog_abort_cycle_policy_unwedges_a_stalled_handshake() {
+    use otf_gengc::gc::StallPolicy;
+    let _serial = fault::exclusive();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let gc = Gc::new(
+        GcConfig::generational()
+            .with_handshake_stall_ms(20)
+            .with_handshake_stall_policy(StallPolicy::AbortCycle)
+            .with_max_collector_restarts(2)
+            .with_collector_restart_backoff_ms(1),
+    );
+    let mut m = gc.mutator();
+    let r = m.alloc(&ObjShape::new(1, 1)).unwrap();
+    m.root_push(r);
+    gc.request_full();
+    // Never cooperate: the first handshake wedges, the watchdog reports
+    // at 20/40/80 ms and then panics the cycle into the supervisor.
+    let start = Instant::now();
+    while gc.stats().cycles_aborted == 0 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = gc.stats();
+    assert!(
+        stats.cycles_aborted >= 1,
+        "watchdog never aborted the cycle"
+    );
+    assert!(stats.collector_restarts >= 1);
+    assert!(stats.watchdog_trips >= 3, "escalation needs three reports");
+    // Cooperate now: the re-armed full collection must complete.
+    let start = Instant::now();
+    while gc.cycles_completed() == 0 && start.elapsed() < Duration::from_secs(10) {
+        m.cooperate();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    std::panic::set_hook(prev_hook);
+    assert!(gc.cycles_completed() >= 1, "re-armed cycle never completed");
+    assert!(!gc.is_poisoned());
+    assert!(gc.debug_is_object(r), "rooted object lost across the abort");
+    drop(m);
+    gc.shutdown();
 }
 
 /// The handshake watchdog: a mutator that never cooperates stalls the

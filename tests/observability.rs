@@ -169,6 +169,89 @@ fn tracing_is_off_by_default_and_histograms_still_work() {
     assert!(gc.stats().handshake.count() >= 3);
 }
 
+/// Supervision satellite: an injected collector panic (mid-trace, with
+/// restarts enabled) must leave a coherent abort→restart story in the
+/// event ring — `RecoveryBegin` (naming the open bucket), then
+/// `CycleAborted`, then `RecoveryEnd` — matching counters in `GcStats`,
+/// and a post-recovery cycle whose end state passes `verify_heap`.
+#[test]
+fn injected_panic_produces_a_coherent_recovery_event_story() {
+    use otf_gengc::support::fault::{self, FaultPlan, FaultRule};
+    let _serial = fault::exclusive();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    // Phase hit 4 of the first cycle is the trace bucket's open hook.
+    fault::install(
+        FaultPlan::new(9).rule(
+            FaultRule::at("collector.phase")
+                .failing(1.0)
+                .after(4)
+                .max_fires(1),
+        ),
+    );
+    let mut gc = Gc::new(
+        tiny(GcConfig::generational().with_event_trace(true))
+            .with_max_collector_restarts(3)
+            .with_collector_restart_backoff_ms(1),
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let mut m = gc.mutator();
+        let stop = &stop;
+        s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                m.cooperate();
+                std::hint::spin_loop();
+            }
+        });
+        gc.collect_full_blocking(); // killed mid-trace, served by recovery
+        gc.collect_full_blocking(); // clean post-recovery cycle
+        stop.store(true, Ordering::Relaxed);
+    });
+    let log = fault::uninstall();
+    std::panic::set_hook(prev_hook);
+    assert_eq!(log.len(), 1, "exactly one injected panic: {log:?}");
+
+    let stats = gc.stats();
+    assert!(!stats.collector_poisoned);
+    assert_eq!(stats.collector_restarts, 1);
+    assert_eq!(stats.cycles_aborted, 1);
+    assert_eq!(
+        stats.recovery.count(),
+        1,
+        "one recovery duration must be recorded"
+    );
+
+    let events = gc.events();
+    let idx = |k: EventKind| events.iter().position(|e| e.kind == k);
+    let begin = idx(EventKind::RecoveryBegin).expect("no RecoveryBegin event");
+    let aborted = idx(EventKind::CycleAborted).expect("no CycleAborted event");
+    let end = idx(EventKind::RecoveryEnd).expect("no RecoveryEnd event");
+    assert!(
+        begin < aborted && aborted < end,
+        "recovery story out of order: begin={begin} aborted={aborted} end={end}"
+    );
+    // The JSONL rendering names the bucket the panic unwound out of.
+    let mut buf = Vec::new();
+    gc.write_events_jsonl(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(
+        text.contains("\"ev\":\"recovery_begin\"") && text.contains("\"bucket\":\"trace\""),
+        "recovery events missing from JSONL: {text}"
+    );
+    // The post-recovery cycle completed and left a consistent heap.
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::CycleEnd)
+            .count()
+            >= 2,
+        "expected the recovery full and the follow-up cycle to complete"
+    );
+    gc.stop_collector();
+    assert!(gc.verify_heap().is_empty());
+}
+
 #[test]
 fn shutdown_returns_stats_including_the_final_cycle() {
     let gc = run_cooperating_cycles(GcConfig::non_generational(), 2);
