@@ -41,6 +41,9 @@ OTF_BENCH_QUICK=1 OTF_BENCH_OUT=target/BENCH_parallel_ci.json \
 grep -q '"bench": "parallel"' target/BENCH_parallel_ci.json
 grep -q '"n1_parity": true' target/BENCH_parallel_ci.json
 grep -q '"p999_ok": true' target/BENCH_parallel_ci.json
+grep -q '"overlap_parity_ok": true' target/BENCH_parallel_ci.json
+grep -q '"overlap_gate_ok": true' target/BENCH_parallel_ci.json
+grep -q '"overlap_reduction_db_gen_n4"' target/BENCH_parallel_ci.json
 
 # Smoke-run the allocator scalability benchmark (sharded block-store
 # back-end vs the single free list at 1/4/16 mutator threads).  The
@@ -65,6 +68,7 @@ grep -q '"bench": "lazy"' target/BENCH_lazy_ci.json
 grep -q '"cycle_gate_ok": true' target/BENCH_lazy_ci.json
 grep -q '"parity_ok": true' target/BENCH_lazy_ci.json
 grep -q '"stall_ok": true' target/BENCH_lazy_ci.json
+grep -q '"refill_ok": true' target/BENCH_lazy_ci.json
 
 # The full integration suites again with four GC workers: every
 # collector-driven test (correctness, chaos, observability) must hold
@@ -94,6 +98,16 @@ OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
 # Tests that pin the terminal poison path set max_collector_restarts(0)
 # explicitly, so the env default does not change their meaning.
 OTF_GC_MAX_RESTARTS=3 OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 OTF_GC_THREADS=4 \
+    cargo test -q --offline --test chaos --test gc_correctness --test plan_equivalence
+
+# And with the overlapped cards∥roots∥trace group (DESIGN.md §4.9)
+# stacked on the parallel+lazy+sharded cell: the suites must hold when
+# the gray producers run concurrently with the trace lanes and the
+# termination check extends over open producer buckets.  Note the
+# plan-equivalence overlap arms run *both* schedules regardless — this
+# cell additionally forces every other collector in those suites
+# (correctness graphs, chaos storms) onto the overlapped schedule.
+OTF_GC_OVERLAP=1 OTF_GC_THREADS=4 OTF_GC_LAZY_SWEEP=1 OTF_GC_SHARDS=4 \
     cargo test -q --offline --test chaos --test gc_correctness --test plan_equivalence
 
 # Chaos smoke: the fixed-seed fault-injection matrix (debug build — the

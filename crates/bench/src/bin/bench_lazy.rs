@@ -9,7 +9,7 @@
 //! headline figure is the collector cycle-time reduction; the cost side
 //! is watched through the allocation-stall and LAB-refill histograms.
 //!
-//! Three gates:
+//! Four gates:
 //!
 //! * **cycle-time reduction** — mean cycle time of db under the
 //!   generational collector must drop by at least 30% in lazy mode (the
@@ -23,6 +23,12 @@
 //!   (the same catch-an-order-of-magnitude slack the parallel harness
 //!   uses, since a quick-mode p99.99 is a single worst sample on an
 //!   oversubscribed container).
+//! * **LAB-refill tail** — p99.99 LAB-refill latency in lazy mode stays
+//!   within 10x + 1 ms of the eager peer.  The lazy refill legitimately
+//!   sweeps a segment before allocating, but claiming that segment is a
+//!   single CAS on the epoch-stamped cursor; the gate pins the removal
+//!   of the old per-claim mutex, whose convoy under racing refills put
+//!   the tail an order of magnitude past the sweep cost itself.
 //!
 //! Emits `BENCH_lazy.json` (override with `OTF_BENCH_OUT`); exits
 //! non-zero on heap violations or a gate failure.  Accepts the standard
@@ -217,6 +223,33 @@ fn stall_ok(rows: &[LazyResult]) -> bool {
     })
 }
 
+/// LAB-refill tail: p99.99 refill latency in lazy mode stays within
+/// 10x + 1 ms of the eager peer.  The refill path legitimately sweeps a
+/// segment (sweep-to-allocate), so it cannot match eager exactly — but
+/// the claim is a single CAS on the epoch-stamped cursor, so the tail
+/// must not show the old mutex-convoy spike (770 us vs 50 us eager in
+/// the PR-9 data) growing back into the tens of milliseconds.
+fn refill_ok(rows: &[LazyResult]) -> bool {
+    rows.iter().filter(|r| r.lazy).all(|r| {
+        let base = eager_peer(rows, r)
+            .map(|b| b.lab_refill.quantile(0.9999))
+            .unwrap_or(0);
+        let bound = base.saturating_mul(10) + 1_000_000;
+        let ok = r.lab_refill.quantile(0.9999) <= bound;
+        if !ok {
+            eprintln!(
+                "error: {}/{} lazy lab-refill p99.99 {:.1} us vs eager {:.1} us — \
+                 segment-claim tail outside the 10x + 1 ms envelope",
+                r.workload,
+                r.config,
+                us(r.lab_refill.quantile(0.9999)),
+                us(base)
+            );
+        }
+        ok
+    })
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(!s.contains(['"', '\\']));
     s
@@ -229,6 +262,7 @@ fn write_json(
     cycle_ok: bool,
     parity: bool,
     stall: bool,
+    refill: bool,
     o: &Options,
     path: &str,
 ) {
@@ -266,7 +300,7 @@ fn write_json(
     j.push_str("  ],\n");
     j.push_str(&format!(
         "  \"cycle_reduction_db_gen\": {reduction:.3}, \"cycle_gate_ok\": {cycle_ok}, \
-         \"parity_ok\": {parity}, \"stall_ok\": {stall}\n}}\n"
+         \"parity_ok\": {parity}, \"stall_ok\": {stall}, \"refill_ok\": {refill}\n}}\n"
     ));
     if let Err(e) = std::fs::write(path, &j) {
         eprintln!("error: could not write {path}: {e}");
@@ -314,6 +348,7 @@ fn main() {
     let (reduction, cycle_ok) = cycle_gate(&rows);
     let parity = parity_ok(&rows);
     let stall = stall_ok(&rows);
+    let refill = refill_ok(&rows);
 
     let mut t = Table::new("lazy sweep: cycle time and allocation latency by sweep mode");
     t.header([
@@ -348,14 +383,17 @@ fn main() {
     );
 
     let path = std::env::var("OTF_BENCH_OUT").unwrap_or_else(|_| "BENCH_lazy.json".to_string());
-    write_json(&rows, reduction, cycle_ok, parity, stall, &o, &path);
+    write_json(&rows, reduction, cycle_ok, parity, stall, refill, &o, &path);
 
     if total_violations > 0 {
         eprintln!("{total_violations} heap violation(s) across the matrix");
         std::process::exit(1);
     }
-    if !cycle_ok || !parity || !stall {
-        eprintln!("gate failure: cycle_gate_ok={cycle_ok} parity_ok={parity} stall_ok={stall}");
+    if !cycle_ok || !parity || !stall || !refill {
+        eprintln!(
+            "gate failure: cycle_gate_ok={cycle_ok} parity_ok={parity} stall_ok={stall} \
+             refill_ok={refill}"
+        );
         std::process::exit(1);
     }
 }

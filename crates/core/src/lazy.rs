@@ -24,13 +24,17 @@
 //! *first* bucket (`lazy-finalize`, before the init bucket and any
 //! handshake — DESIGN.md §4.7), and the publish packet at the old sweep
 //! point only ever replaces an already-drained epoch.  Within an epoch,
-//! segment claims are serialized by a mutex (each claim copies the
-//! pinned params out under the lock), the segment cursor partitions
-//! `[1, frontier)` exactly as the PR 5 parallel sweep does (including
-//! the `object_end` straddler snap), and every granule therefore belongs
-//! to exactly one claimant — no double free, and no resurrection because
-//! concurrent allocation uses the allocation color which the epoch's
-//! pinned `clear` never matches.
+//! segment claims are a lock-free CAS on an *epoch-stamped* cursor word
+//! (`epoch << 32 | granule`); the frontier and pinned params live in
+//! their own epoch-stamped words, published before the cursor, so a
+//! claimant that wins a CAS under epoch *e* is guaranteed
+//! matching-epoch params and frontier — the stamp makes the claim
+//! ABA-proof across publishes without a lock on the refill hot path.
+//! The segment cursor partitions `[1, frontier)` exactly as the PR 5
+//! parallel sweep does (including the `object_end` straddler snap), and
+//! every granule therefore belongs to exactly one claimant — no double
+//! free, and no resurrection because concurrent allocation uses the
+//! allocation color which the epoch's pinned `clear` never matches.
 //!
 //! The per-epoch sweep counters fold into the *next* cycle's stats at
 //! finalization (the same place an eager sweep would have produced
@@ -39,7 +43,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use otf_heap::{Chunk, GRANULE};
+use otf_heap::{Chunk, Color, GRANULE};
 use otf_support::fault;
 use otf_support::sync::{Backoff, Mutex};
 
@@ -47,6 +51,46 @@ use crate::cycle::Counters;
 use crate::obs::EventKind;
 use crate::shared::GcShared;
 use crate::sweep::{SweepBuf, SweepParams, SWEEP_PROGRESS_STRIDE, SWEEP_SEGMENT_GRANULES};
+
+/// Pairs a 32-bit epoch stamp with a 32-bit payload in one atomic word.
+/// Every mutable epoch word (cursor, frontier, params) carries the
+/// stamp, so a claimant can verify the three reads belong to the same
+/// epoch: a publish bumps the stamp in all of them, which also makes
+/// the claim CAS ABA-proof (granule values recur across epochs, stamped
+/// words never do until the 32-bit wrap).
+fn stamp(epoch: u32, payload: u32) -> u64 {
+    (epoch as u64) << 32 | payload as u64
+}
+
+fn unstamp(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// `aging` byte of the packed [`SweepParams`] when the policy is off
+/// (thresholds are `u8`, so `0xFF` can never be a real threshold).
+const NO_AGING: u8 = 0xFF;
+
+/// [`SweepParams`] packed into the payload half of an epoch-stamped
+/// word: byte 0 = clear color, 1 = alloc color, 2 = aging threshold (or
+/// [`NO_AGING`]), 3 = trace target.
+fn pack_params(p: &SweepParams) -> u32 {
+    (p.clear as u32)
+        | (p.alloc as u32) << 8
+        | (p.aging.unwrap_or(NO_AGING) as u32) << 16
+        | (p.trace_target as u32) << 24
+}
+
+fn unpack_params(w: u32) -> SweepParams {
+    SweepParams {
+        clear: Color::from_byte(w as u8),
+        alloc: Color::from_byte((w >> 8) as u8),
+        aging: match (w >> 16) as u8 {
+            NO_AGING => None,
+            t => Some(t),
+        },
+        trace_target: Color::from_byte((w >> 24) as u8),
+    }
+}
 
 /// Who swept a lazy segment — the `GcStats` at-allocation /
 /// at-finalization split.
@@ -59,29 +103,25 @@ pub(crate) enum LazyWho {
     Collector,
 }
 
-/// The mutable epoch state, mutex-guarded so a claim atomically pairs
-/// the cursor bump with the pinned params of the epoch it came from.
-#[derive(Debug, Default)]
-struct Epoch {
-    /// One-past-the-last granule the epoch covers (the allocation
-    /// frontier at publish time; later allocation is beyond the epoch).
-    frontier: usize,
-    /// Next unclaimed segment start.  `cursor >= frontier` ⇔ drained.
-    cursor: usize,
-    /// Segments handed out for this epoch (compared against
-    /// [`LazySweep::completed`] to wait out in-flight claimants).
-    claimed: u64,
-    /// The pinned sweep configuration (`None` until the first publish).
-    params: Option<SweepParams>,
-}
-
 /// Shared state of the lazy sweep back-end (a field of `GcShared`;
 /// inert unless `GcConfig::lazy_sweep` is set).
 #[derive(Debug, Default)]
 pub(crate) struct LazySweep {
     /// Fast-path gate: `true` while a published epoch may have work.
     active: AtomicBool,
-    epoch: Mutex<Epoch>,
+    /// Epoch-stamped claim cursor: `epoch << 32 | next unclaimed segment
+    /// start granule`.  A claim CASes the granule forward by
+    /// [`SWEEP_SEGMENT_GRANULES`]; granule ≥ frontier ⇔ fully claimed.
+    /// The per-epoch claimed-segment count is derived from it as
+    /// `(granule − 1) / SWEEP_SEGMENT_GRANULES` (the cursor only ever
+    /// advances by whole segments from 1).
+    cursor: AtomicU64,
+    /// Epoch-stamped frontier: one-past-the-last granule the epoch
+    /// covers (the allocation frontier at publish time; later allocation
+    /// is beyond the epoch).
+    published: AtomicU64,
+    /// Epoch-stamped packed [`SweepParams`] (see [`pack_params`]).
+    params: AtomicU64,
     /// Segments fully swept for the current epoch (monotone within an
     /// epoch; reset at publish, when no claimant can be in flight).
     completed: AtomicU64,
@@ -144,40 +184,72 @@ impl GcShared {
         let est = used
             .saturating_sub(bytes_traced)
             .saturating_sub(self.control.bytes_since_cycle());
+        #[cfg(debug_assertions)]
         {
-            let mut ep = self.lazy.epoch.lock();
+            let (ce, cg) = unstamp(self.lazy.cursor.load(Ordering::Relaxed));
+            let (pe, pf) = unstamp(self.lazy.published.load(Ordering::Relaxed));
             debug_assert!(
-                ep.cursor >= ep.frontier,
+                ce == pe && cg >= pf,
                 "epoch published over undrained predecessor"
             );
-            ep.frontier = frontier;
-            ep.cursor = 1;
-            ep.claimed = 0;
-            ep.params = Some(params);
-            self.lazy.completed.store(0, Ordering::Relaxed);
-            self.lazy.unswept.store(est, Ordering::Relaxed);
         }
+        let ep = (self.lazy.epochs.fetch_add(1, Ordering::Relaxed) + 1) as u32;
+        // Publish order: params and frontier first, the cursor last with
+        // release — a claimant whose CAS wins on a cursor carrying the
+        // new stamp is guaranteed to read matching-stamp params and
+        // frontier words.  `completed` resets here because the previous
+        // epoch was finalized: no claimant can be in flight.
+        self.lazy
+            .params
+            .store(stamp(ep, pack_params(&params)), Ordering::Release);
+        self.lazy
+            .published
+            .store(stamp(ep, frontier as u32), Ordering::Release);
+        self.lazy.completed.store(0, Ordering::Relaxed);
+        self.lazy.unswept.store(est, Ordering::Relaxed);
+        self.lazy.cursor.store(stamp(ep, 1), Ordering::Release);
         self.lazy.active.store(frontier > 1, Ordering::Release);
-        self.lazy.epochs.fetch_add(1, Ordering::Relaxed);
         self.obs.event(EventKind::SweepProgress, 1, frontier as u64);
     }
 
-    /// Claims the next unclaimed segment of the current epoch, copying
-    /// the pinned params out under the lock.  `None` when no epoch is
-    /// active or it is fully claimed.
+    /// Claims the next unclaimed segment of the current epoch with a
+    /// lock-free CAS on the epoch-stamped cursor.  `None` when no epoch
+    /// is active or it is fully claimed.
+    ///
+    /// Epoch consistency: the cursor is read first; a frontier whose
+    /// stamp disagrees means a publish is mid-flight between the two
+    /// stores, so the claim retries (the disagreement is transient —
+    /// the cursor is published last).  A successful CAS under stamp *e*
+    /// pins epoch *e* open: `lazy_finalize` cannot count this claim
+    /// complete before [`LazySweep::completed`] is bumped, so no
+    /// publish can replace the params/frontier words read afterwards.
     fn lazy_claim(&self) -> Option<(SweepParams, usize, usize)> {
         if !self.lazy.active.load(Ordering::Acquire) {
             return None;
         }
-        let mut ep = self.lazy.epoch.lock();
-        if ep.cursor >= ep.frontier {
-            return None;
+        loop {
+            let cur = self.lazy.cursor.load(Ordering::Acquire);
+            let (ep, g) = unstamp(cur);
+            let (fe, frontier) = unstamp(self.lazy.published.load(Ordering::Acquire));
+            if ep != fe {
+                std::hint::spin_loop();
+                continue;
+            }
+            if g >= frontier {
+                return None;
+            }
+            let next = stamp(ep, g + SWEEP_SEGMENT_GRANULES as u32);
+            if self
+                .lazy
+                .cursor
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let (pe, pw) = unstamp(self.lazy.params.load(Ordering::Acquire));
+                debug_assert_eq!(pe, ep, "params stamp diverged from a claimed cursor");
+                return Some((unpack_params(pw), g as usize, frontier as usize));
+            }
         }
-        let params = ep.params?;
-        let seg_start = ep.cursor;
-        ep.cursor += SWEEP_SEGMENT_GRANULES;
-        ep.claimed += 1;
-        Some((params, seg_start, ep.frontier))
     }
 
     /// Claims and sweeps one epoch segment through the shared
@@ -278,7 +350,10 @@ impl GcShared {
         while self.lazy_sweep_segment(who, None).is_some() {}
         let mut backoff = Backoff::new();
         loop {
-            let claimed = self.lazy.epoch.lock().claimed;
+            // The cursor is stable here (fully claimed, and no publish
+            // can race a finalize), so the claim count derives from it.
+            let (_, g) = unstamp(self.lazy.cursor.load(Ordering::Acquire));
+            let claimed = (g.saturating_sub(1) as u64) / SWEEP_SEGMENT_GRANULES as u64;
             if self.lazy.completed.load(Ordering::Acquire) >= claimed {
                 break;
             }
@@ -545,6 +620,32 @@ mod tests {
         for g in 1..sh.heap.frontier_granule() {
             assert_ne!(colors.get_raw_relaxed(g), Color::White as u8);
         }
+    }
+
+    #[test]
+    fn sweep_params_pack_round_trips() {
+        for aging in [None, Some(2), Some(10), Some(0xFE)] {
+            for (clear, alloc) in [(Color::White, Color::Yellow), (Color::Yellow, Color::White)] {
+                for trace_target in [Color::Black, Color::White] {
+                    let p = SweepParams {
+                        clear,
+                        alloc,
+                        aging,
+                        trace_target,
+                    };
+                    assert_eq!(unpack_params(pack_params(&p)), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_words_split_epoch_and_payload() {
+        assert_eq!(unstamp(stamp(7, 123)), (7, 123));
+        assert_eq!(unstamp(stamp(u32::MAX, u32::MAX)), (u32::MAX, u32::MAX));
+        // Same granule under different epochs compares unequal — the
+        // ABA protection the claim CAS relies on.
+        assert_ne!(stamp(1, 1), stamp(2, 1));
     }
 
     #[test]

@@ -38,10 +38,22 @@ pub struct PhaseTimes {
     /// work, not handshake latency — its own slot so handshake SLOs
     /// aren't inflated by root-set size).
     pub roots: Duration,
-    /// Transitive marking.
+    /// Transitive marking.  Sequential schedules report the trace
+    /// bucket's wall span; overlapped schedules
+    /// (`GcConfig::overlap_phases`) report the summed per-lane CPU time
+    /// instead, since the bucket span also covers the concurrent
+    /// card/root producers.
     pub trace: Duration,
     /// The sweep pass.
     pub sweep: Duration,
+    /// Overlapped schedules only: critical-path wall time of the
+    /// cards∥roots∥trace overlap window (group open → trace-bucket
+    /// close).  Zero in the sequential schedule.  When nonzero,
+    /// `cards + roots + trace` are per-phase CPU times that can
+    /// legitimately sum past this wall time (that is the point of the
+    /// overlap) — CPU-sum accounting checks must use it in place of
+    /// those three slots.
+    pub mark_wall: Duration,
 }
 
 /// Everything measured about one collection cycle.

@@ -298,8 +298,13 @@ fn kill_at_phase_and_recover(cfg: GcConfig, k: u64) {
 
 /// The recovery matrix (tentpole acceptance): a collector panic at each
 /// of the six phases, for gen and nogen, eager and lazy sweep, N=1 and
-/// N=4 workers, must end unpoisoned with ≥ 1 restart, a completed
-/// subsequent full collection, and zero `verify_heap` violations.
+/// N=4 workers, serial and overlapped schedules, must end unpoisoned
+/// with ≥ 1 restart, a completed subsequent full collection, and zero
+/// `verify_heap` violations.  The overlap cells matter most at the
+/// trace site (k = 4): with `overlap_phases` on, that hit fires inside
+/// the group chain-open, so the panic lands with the card-scan and
+/// root-mark producer buckets open and their `in_flight` tokens held —
+/// the abort must close the whole group, not just the trace bucket.
 #[test]
 fn collector_panic_at_every_phase_recovers_under_restarts() {
     let _serial = fault::exclusive();
@@ -308,9 +313,14 @@ fn collector_panic_at_every_phase_recovers_under_restarts() {
     for base in [GcConfig::generational, GcConfig::non_generational] {
         for lazy in [false, true] {
             for threads in [1usize, 4] {
-                for k in 0..6u64 {
-                    let cfg = base().with_lazy_sweep(lazy).with_gc_threads(threads);
-                    kill_at_phase_and_recover(cfg, k);
+                for overlap in [false, true] {
+                    for k in 0..6u64 {
+                        let cfg = base()
+                            .with_lazy_sweep(lazy)
+                            .with_gc_threads(threads)
+                            .with_overlap_phases(overlap);
+                        kill_at_phase_and_recover(cfg, k);
+                    }
                 }
             }
         }
